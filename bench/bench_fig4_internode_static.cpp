@@ -1,0 +1,10 @@
+/// \file bench_fig4_internode_static.cpp
+/// Regenerates Figure 4: STATIC at the inter-node level. Expected shape:
+/// both implementations coincide for every intra-node technique except SS,
+/// where MPI+MPI clearly loses (MPI_Win_lock polling under contention).
+
+#include "common/figure.hpp"
+
+int main(int argc, char** argv) {
+    return hdls::bench::run_figure_bench(4, hdls::dls::Technique::Static, argc, argv);
+}

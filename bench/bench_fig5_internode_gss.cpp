@@ -1,0 +1,11 @@
+/// \file bench_fig5_internode_gss.cpp
+/// Regenerates Figure 5: GSS at the inter-node level. Headline result of
+/// the paper: GSS+STATIC favours MPI+MPI strongly at small node counts
+/// (19.6 s vs 61.5 s at 2 nodes for Mandelbrot in the paper), the gap
+/// narrowing with node count; GSS+SS favours MPI+OpenMP.
+
+#include "common/figure.hpp"
+
+int main(int argc, char** argv) {
+    return hdls::bench::run_figure_bench(5, hdls::dls::Technique::GSS, argc, argv);
+}

@@ -1,0 +1,9 @@
+/// \file bench_fig6_internode_tss.cpp
+/// Regenerates Figure 6: TSS at the inter-node level; same qualitative
+/// pattern as Figure 5.
+
+#include "common/figure.hpp"
+
+int main(int argc, char** argv) {
+    return hdls::bench::run_figure_bench(6, hdls::dls::Technique::TSS, argc, argv);
+}

@@ -1,0 +1,11 @@
+/// \file bench_fig7_internode_fac2.cpp
+/// Regenerates Figure 7: FAC2 at the inter-node level; same qualitative
+/// pattern as Figures 5/6, with the SS penalty relatively most visible for
+/// PSIA (its low intrinsic imbalance leaves the scheduling overhead as the
+/// dominant effect).
+
+#include "common/figure.hpp"
+
+int main(int argc, char** argv) {
+    return hdls::bench::run_figure_bench(7, hdls::dls::Technique::FAC2, argc, argv);
+}

@@ -1,0 +1,77 @@
+/// \file bench_micro_chunk_calc.cpp
+/// google-benchmark micro-measurements of the chunk calculators: the
+/// step-indexed closed forms (the per-scheduling-step cost every worker
+/// pays under the distributed protocol) and the stateful master-side
+/// generators.
+
+#include <benchmark/benchmark.h>
+
+#include "dls/chunk_formulas.hpp"
+#include "dls/scheduler.hpp"
+
+namespace {
+
+using hdls::dls::Technique;
+
+hdls::dls::LoopParams bench_params() {
+    hdls::dls::LoopParams p;
+    p.total_iterations = 1 << 20;
+    p.workers = 16;
+    p.sigma = 0.1;
+    p.mu = 1.0;
+    p.overhead_h = 1e-4;
+    return p;
+}
+
+void BM_StepIndexedChunk(benchmark::State& state) {
+    const auto technique = static_cast<Technique>(state.range(0));
+    const auto p = bench_params();
+    std::int64_t step = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hdls::dls::chunk_size_for_step(technique, p, step));
+        step = (step + 1) % 256;
+    }
+    state.SetLabel(std::string(hdls::dls::technique_name(technique)));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StepIndexedChunk)
+    ->Arg(static_cast<int>(Technique::Static))
+    ->Arg(static_cast<int>(Technique::SS))
+    ->Arg(static_cast<int>(Technique::FSC))
+    ->Arg(static_cast<int>(Technique::GSS))
+    ->Arg(static_cast<int>(Technique::TSS))
+    ->Arg(static_cast<int>(Technique::FAC2))
+    ->Arg(static_cast<int>(Technique::TFSS))
+    ->Arg(static_cast<int>(Technique::RND));
+
+void BM_StatefulSchedulerDrain(benchmark::State& state) {
+    const auto technique = static_cast<Technique>(state.range(0));
+    const auto p = bench_params();
+    for (auto _ : state) {
+        auto sched = hdls::dls::make_scheduler(technique, p);
+        std::int64_t chunks = 0;
+        int worker = 0;
+        while (auto a = sched->next(worker)) {
+            benchmark::DoNotOptimize(a->size);
+            ++chunks;
+            worker = (worker + 1) % p.workers;
+        }
+        state.counters["chunks"] =
+            benchmark::Counter(static_cast<double>(chunks), benchmark::Counter::kDefaults);
+    }
+    state.SetLabel(std::string(hdls::dls::technique_name(technique)));
+}
+BENCHMARK(BM_StatefulSchedulerDrain)
+    ->Arg(static_cast<int>(Technique::Static))
+    ->Arg(static_cast<int>(Technique::GSS))
+    ->Arg(static_cast<int>(Technique::TSS))
+    ->Arg(static_cast<int>(Technique::FAC))
+    ->Arg(static_cast<int>(Technique::FAC2))
+    ->Arg(static_cast<int>(Technique::WF))
+    ->Arg(static_cast<int>(Technique::TFSS))
+    ->Arg(static_cast<int>(Technique::AWFC))
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,21 @@
+#pragma once
+/// \file figure.hpp
+/// Shared driver for the Figure 4-7 reproductions: one inter-node
+/// technique, the five intra-node techniques, both implementations, both
+/// applications, 2-16 nodes.
+
+#include <string>
+
+#include "common/workloads.hpp"
+#include "dls/technique.hpp"
+
+namespace hdls::bench {
+
+/// Runs and prints one figure. `figure_id` is the paper's figure number;
+/// `inter` its first-level technique. Reproduces the paper's Intel-stack
+/// restriction: MPI+OpenMP columns are "n/a" for intra techniques the
+/// OpenMP schedule clause cannot express (TSS, FAC2), unless
+/// --extended-openmp is passed (the LaPeSD-libGOMP future-work mode).
+int run_figure_bench(int figure_id, dls::Technique inter, int argc, const char* const* argv);
+
+}  // namespace hdls::bench

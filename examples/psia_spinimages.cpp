@@ -1,0 +1,111 @@
+/// \file psia_spinimages.cpp
+/// The paper's second evaluation application on the real runtime: generate
+/// spin images (Johnson's 3D shape descriptor) for every oriented point of
+/// a synthetic cloud, self-scheduled hierarchically, and print a few of
+/// them as ASCII heat maps.
+///
+///   $ ./psia_spinimages --points 3000 --nodes 2 --rpn 4 --inter FAC2 --intra GSS
+
+#include <iostream>
+#include <mutex>
+
+#include "apps/psia.hpp"
+#include "core/hdls.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void print_ascii(const hdls::apps::SpinImage& img) {
+    static constexpr char kShades[] = " .:-=+*#%@";
+    float max_v = 0.0F;
+    for (const float v : img.data()) {
+        max_v = std::max(max_v, v);
+    }
+    for (int row = 0; row < img.height(); ++row) {
+        std::cout << "    ";
+        for (int col = 0; col < img.width(); ++col) {
+            const float v = img.at(row, col);
+            const int shade =
+                max_v > 0 ? static_cast<int>(9.0F * v / max_v) : 0;
+            std::cout << kShades[shade];
+        }
+        std::cout << "\n";
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace hdls;
+    util::ArgParser cli("psia_spinimages",
+                        "Hierarchically self-scheduled spin-image generation (paper app #2)");
+    cli.add_int("points", 2500, "synthetic cloud size");
+    cli.add_string("inter", "FAC2", "inter-node DLS technique");
+    cli.add_string("intra", "GSS", "intra-node DLS technique");
+    cli.add_int("nodes", 2, "simulated compute nodes");
+    cli.add_int("rpn", 4, "workers per node");
+    cli.add_int("show", 2, "number of spin images to print as ASCII art");
+    try {
+        if (!cli.parse(argc, argv)) {
+            return 0;
+        }
+        const auto inter = dls::technique_from_string(cli.get_string("inter"));
+        const auto intra = dls::technique_from_string(cli.get_string("intra"));
+        if (!inter || !intra) {
+            std::cerr << "unknown technique\n";
+            return 2;
+        }
+
+        const auto n_points = static_cast<std::size_t>(cli.get_int("points"));
+        const apps::PointCloud cloud = apps::PointCloud::synthetic(n_points, 0xC10DULL);
+        apps::PsiaConfig pcfg;
+        pcfg.image_width = 16;
+        pcfg.image_height = 16;
+        pcfg.bin_size = 0.04;
+
+        std::cout << "PSIA: spin images for " << cloud.size()
+                  << " oriented points (synthetic torus+lobe scene), "
+                  << dls::technique_name(*inter) << "+" << dls::technique_name(*intra) << "\n";
+
+        // One spin image per oriented point — the paper's parallel loop.
+        std::vector<double> masses(cloud.size(), 0.0);
+        core::ClusterShape shape{static_cast<int>(cli.get_int("nodes")),
+                                 static_cast<int>(cli.get_int("rpn"))};
+        core::HierConfig cfg;
+        cfg.inter = *inter;
+        cfg.intra = *intra;
+        const auto report = parallel_for(
+            shape, core::Approach::MpiMpi, cfg, static_cast<std::int64_t>(cloud.size()),
+            [&](std::int64_t b, std::int64_t e) {
+                for (std::int64_t i = b; i < e; ++i) {
+                    const auto img =
+                        apps::compute_spin_image(cloud, static_cast<std::size_t>(i), pcfg);
+                    masses[static_cast<std::size_t>(i)] = img.mass();
+                }
+            });
+        report.print(std::cout);
+
+        const auto s = util::summarize(masses);
+        std::cout << "spin-image mass (= support size): mean "
+                  << util::format_double(s.mean, 1) << ", min " << util::format_double(s.min, 1)
+                  << ", max " << util::format_double(s.max, 1) << ", CoV "
+                  << util::format_double(s.cov, 2)
+                  << "  <- the moderate PSIA imbalance the paper describes\n";
+
+        const auto show = std::min<std::int64_t>(cli.get_int("show"),
+                                                 static_cast<std::int64_t>(cloud.size()));
+        for (std::int64_t k = 0; k < show; ++k) {
+            // Spread the previews across the cloud.
+            const std::size_t idx = static_cast<std::size_t>(k) * cloud.size() /
+                                    static_cast<std::size_t>(show);
+            std::cout << "\n  spin image of point " << idx << ":\n";
+            print_ascii(apps::compute_spin_image(cloud, idx, pcfg));
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    }
+}

@@ -1,0 +1,58 @@
+/// \file quickstart.cpp
+/// Smallest complete hdls program: self-schedule a loop hierarchically on a
+/// thread-backed "cluster" of 2 nodes x 4 workers with GSS across nodes and
+/// GSS within nodes (the paper's MPI+MPI approach), then print the report.
+///
+///   $ ./quickstart
+///
+/// The loop body just burns a deterministic, intentionally imbalanced
+/// amount of time per iteration; the report shows how the two-level
+/// scheduler balanced it.
+
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <thread>
+
+#include "core/hdls.hpp"
+
+int main() {
+    using namespace hdls;
+
+    constexpr std::int64_t kIterations = 2000;
+
+    core::ClusterShape shape;
+    shape.nodes = 2;
+    shape.workers_per_node = 4;
+
+    core::HierConfig cfg;
+    cfg.inter = dls::Technique::GSS;   // across nodes (global work queue)
+    cfg.intra = dls::Technique::GSS;   // within a node (shared local queue)
+
+    // Iteration i costs ~ (1 + i mod 7) * 30us: mildly imbalanced.
+    const auto body = [](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) {
+            std::this_thread::sleep_for(std::chrono::microseconds(30 * (1 + i % 7)));
+        }
+    };
+
+    std::cout << "hdls quickstart: " << kIterations << " iterations on " << shape.nodes
+              << " nodes x " << shape.workers_per_node << " workers\n\n";
+
+    const core::ExecutionReport report =
+        parallel_for(shape, core::Approach::MpiMpi, cfg, kIterations, body);
+    report.print(std::cout);
+
+    // The same loop under the MPI+OpenMP-style baseline, for comparison.
+    const core::ExecutionReport baseline =
+        parallel_for(shape, core::Approach::MpiOpenMp, cfg, kIterations, body);
+    baseline.print(std::cout);
+
+    std::cout << "\nEvery iteration ran exactly once: "
+              << (report.executed_iterations() == kIterations &&
+                          baseline.executed_iterations() == kIterations
+                      ? "yes"
+                      : "NO (bug!)")
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,78 @@
+#pragma once
+/// \file mandelbrot.hpp
+/// The Mandelbrot application of the paper's evaluation.
+///
+/// Mandelbrot is the canonical high-imbalance DLS kernel: escape-time
+/// iteration counts vary from a handful (far exterior) to max_iter
+/// (interior points), and interior pixels cluster spatially — exactly the
+/// "algorithmic variation" the paper cites as motivation. The same kernel
+/// serves three roles here:
+///   1. real compute kernel for the thread-backed examples/tests,
+///   2. per-pixel iteration counts -> virtual-cost trace for the simulator,
+///   3. image output so scheduling correctness is verifiable bit-for-bit.
+
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <vector>
+
+namespace hdls::apps {
+
+/// Viewport and iteration budget of a Mandelbrot rendering.
+struct MandelbrotConfig {
+    int width = 1024;
+    int height = 1024;
+    int max_iter = 512;
+    double re_min = -2.1;
+    double re_max = 0.6;
+    double im_min = -1.35;
+    double im_max = 1.35;
+
+    [[nodiscard]] std::int64_t pixels() const noexcept {
+        return static_cast<std::int64_t>(width) * height;
+    }
+};
+
+/// Escape-time iterations of pixel (x, y): the number of z <- z^2 + c steps
+/// until |z| > 2, capped at max_iter (pixel centers are sampled).
+[[nodiscard]] int mandelbrot_iterations(const MandelbrotConfig& cfg, int x, int y) noexcept;
+
+/// Same, addressed by linear pixel index (row-major) — the loop-iteration
+/// space the schedulers partition.
+[[nodiscard]] int mandelbrot_iterations(const MandelbrotConfig& cfg, std::int64_t pixel) noexcept;
+
+/// Render target accumulating per-pixel iteration counts.
+class MandelbrotImage {
+public:
+    explicit MandelbrotImage(const MandelbrotConfig& cfg);
+
+    /// Computes one pixel (thread-safe for distinct pixels).
+    void compute_pixel(std::int64_t pixel) noexcept;
+
+    /// Computes [begin, end) — the natural chunk body.
+    void compute_range(std::int64_t begin, std::int64_t end) noexcept;
+
+    [[nodiscard]] const MandelbrotConfig& config() const noexcept { return cfg_; }
+    [[nodiscard]] std::span<const int> data() const noexcept { return data_; }
+
+    /// Number of pixels whose value is still the "uncomputed" sentinel.
+    [[nodiscard]] std::int64_t uncomputed() const noexcept;
+
+    /// Order-independent content hash (verifies scheduler correctness).
+    [[nodiscard]] std::uint64_t checksum() const noexcept;
+
+    /// Grayscale PPM (P2) dump for eyeballing example output.
+    void write_ppm(std::ostream& os) const;
+
+private:
+    MandelbrotConfig cfg_;
+    std::vector<int> data_;
+};
+
+/// Virtual-cost trace for the simulator: cost of loop iteration i =
+/// `seconds_per_iteration` * escape iterations of pixel i. This is the
+/// Mandelbrot workload of Figures 4-7.
+[[nodiscard]] std::vector<double> mandelbrot_cost_trace(const MandelbrotConfig& cfg,
+                                                        double seconds_per_iteration);
+
+}  // namespace hdls::apps

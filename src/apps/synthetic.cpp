@@ -1,0 +1,111 @@
+#include "apps/synthetic.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace hdls::apps {
+
+std::vector<double> make_workload(const WorkloadSpec& spec) {
+    if (spec.mean_seconds <= 0.0) {
+        throw std::invalid_argument("make_workload: mean_seconds must be > 0");
+    }
+    if (spec.cov < 0.0) {
+        throw std::invalid_argument("make_workload: cov must be >= 0");
+    }
+    std::vector<double> costs(spec.iterations);
+    util::Xoshiro256 rng(spec.seed);
+    const double floor_cost = spec.mean_seconds / 100.0;
+    switch (spec.kind) {
+        case WorkloadKind::Constant:
+            std::fill(costs.begin(), costs.end(), spec.mean_seconds);
+            break;
+        case WorkloadKind::Uniform: {
+            // U(a,b) has CoV = (b-a)/((a+b)*sqrt(3)); center at mean with
+            // half-width s*mean, s = sqrt(3)*cov (clamped to keep costs > 0).
+            const double s = std::min(std::sqrt(3.0) * spec.cov, 0.99);
+            for (auto& c : costs) {
+                c = spec.mean_seconds * rng.uniform(1.0 - s, 1.0 + s);
+            }
+            break;
+        }
+        case WorkloadKind::Gaussian:
+            for (auto& c : costs) {
+                c = std::max(rng.normal(spec.mean_seconds, spec.cov * spec.mean_seconds),
+                             floor_cost);
+            }
+            break;
+        case WorkloadKind::Exponential:
+            for (auto& c : costs) {
+                c = std::max(rng.exponential(spec.mean_seconds), floor_cost);
+            }
+            break;
+        case WorkloadKind::Bimodal: {
+            // Fraction f of iterations cost 10x the cheap cost; f derived
+            // from the cov knob (f in (0, 0.5]); mean preserved.
+            const double f = std::clamp(spec.cov * spec.cov / (spec.cov * spec.cov + 9.0 / 4.0),
+                                        0.01, 0.5);
+            const double cheap = spec.mean_seconds / (1.0 + 9.0 * f);
+            for (auto& c : costs) {
+                c = rng.uniform01() < f ? 10.0 * cheap : cheap;
+            }
+            break;
+        }
+        case WorkloadKind::IncreasingRamp:
+            for (std::size_t i = 0; i < costs.size(); ++i) {
+                const double t =
+                    costs.size() > 1 ? static_cast<double>(i) / (costs.size() - 1) : 0.0;
+                costs[i] = spec.mean_seconds * (0.1 + 1.8 * t);
+            }
+            break;
+        case WorkloadKind::DecreasingRamp:
+            for (std::size_t i = 0; i < costs.size(); ++i) {
+                const double t =
+                    costs.size() > 1 ? static_cast<double>(i) / (costs.size() - 1) : 0.0;
+                costs[i] = spec.mean_seconds * (1.9 - 1.8 * t);
+            }
+            break;
+    }
+    return costs;
+}
+
+std::string_view workload_name(WorkloadKind k) noexcept {
+    switch (k) {
+        case WorkloadKind::Constant:
+            return "constant";
+        case WorkloadKind::Uniform:
+            return "uniform";
+        case WorkloadKind::Gaussian:
+            return "gaussian";
+        case WorkloadKind::Exponential:
+            return "exponential";
+        case WorkloadKind::Bimodal:
+            return "bimodal";
+        case WorkloadKind::IncreasingRamp:
+            return "increasing";
+        case WorkloadKind::DecreasingRamp:
+            return "decreasing";
+    }
+    return "?";
+}
+
+std::optional<WorkloadKind> workload_from_string(std::string_view name) noexcept {
+    std::string lower(name);
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    for (const WorkloadKind k :
+         {WorkloadKind::Constant, WorkloadKind::Uniform, WorkloadKind::Gaussian,
+          WorkloadKind::Exponential, WorkloadKind::Bimodal, WorkloadKind::IncreasingRamp,
+          WorkloadKind::DecreasingRamp}) {
+        if (lower == workload_name(k)) {
+            return k;
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace hdls::apps

@@ -1,0 +1,45 @@
+#pragma once
+/// \file synthetic.hpp
+/// Synthetic workload traces for the simulator and the ablation benches.
+///
+/// A workload trace is simply the per-iteration execution cost vector of a
+/// loop. The generators below produce the canonical distributions used in
+/// the DLS literature (constant, uniform, gaussian, exponential, bimodal,
+/// monotone ramps) with a controllable mean and dispersion so the
+/// imbalance-crossover ablation can sweep CoV directly.
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace hdls::apps {
+
+/// Shape of the per-iteration cost distribution.
+enum class WorkloadKind {
+    Constant,    ///< every iteration costs `mean`
+    Uniform,     ///< U(mean*(1-s), mean*(1+s)) with s = sqrt(3)*cov
+    Gaussian,    ///< N(mean, cov*mean), truncated at mean/100
+    Exponential, ///< Exp(mean) (cov parameter ignored; CoV = 1)
+    Bimodal,     ///< mostly cheap, a `cov`-controlled fraction 10x expensive
+    IncreasingRamp,  ///< linear 0.1*mean .. 1.9*mean by iteration index
+    DecreasingRamp,  ///< linear 1.9*mean .. 0.1*mean (adversarial for GSS)
+};
+
+/// Parameters of a synthetic trace.
+struct WorkloadSpec {
+    WorkloadKind kind = WorkloadKind::Constant;
+    std::size_t iterations = 0;
+    double mean_seconds = 1e-3;
+    /// Dispersion knob; interpreted per kind (target CoV where meaningful).
+    double cov = 0.5;
+    std::uint64_t seed = 0xBADCAFEULL;
+};
+
+/// Generates the cost trace (deterministic in the spec).
+[[nodiscard]] std::vector<double> make_workload(const WorkloadSpec& spec);
+
+[[nodiscard]] std::string_view workload_name(WorkloadKind k) noexcept;
+[[nodiscard]] std::optional<WorkloadKind> workload_from_string(std::string_view name) noexcept;
+
+}  // namespace hdls::apps

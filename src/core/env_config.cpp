@@ -1,0 +1,112 @@
+#include "core/env_config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+#include "util/log.hpp"
+
+namespace hdls::core {
+
+namespace {
+
+[[nodiscard]] std::string normalized(std::string_view text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char ch : text) {
+        if (!std::isspace(static_cast<unsigned char>(ch))) {
+            out.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(ch))));
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::optional<HierConfig> parse_schedule(std::string_view text) {
+    const std::string s = normalized(text);
+    if (s.empty()) {
+        return std::nullopt;
+    }
+    std::string combo = s;
+    HierConfig cfg;
+    if (const auto comma = s.find(','); comma != std::string::npos) {
+        combo = s.substr(0, comma);
+        const std::string option = s.substr(comma + 1);
+        constexpr std::string_view kKey = "MIN_CHUNK=";
+        if (option.rfind(kKey, 0) != 0) {
+            return std::nullopt;
+        }
+        const std::string value = option.substr(kKey.size());
+        std::int64_t k = 0;
+        const auto [ptr, ec] =
+            std::from_chars(value.data(), value.data() + value.size(), k);
+        if (ec != std::errc{} || ptr != value.data() + value.size() || k < 1) {
+            return std::nullopt;
+        }
+        cfg.min_chunk = k;
+    }
+    const auto plus = combo.find('+');
+    if (plus == std::string::npos || plus == 0 || plus + 1 >= combo.size()) {
+        return std::nullopt;
+    }
+    const auto inter = dls::technique_from_string(combo.substr(0, plus));
+    const auto intra = dls::technique_from_string(combo.substr(plus + 1));
+    if (!inter || !intra) {
+        return std::nullopt;
+    }
+    cfg.inter = *inter;
+    cfg.intra = *intra;
+    return cfg;
+}
+
+std::string format_schedule(const HierConfig& cfg) {
+    std::string out = std::string(dls::technique_name(cfg.inter)) + "+" +
+                      std::string(dls::technique_name(cfg.intra));
+    if (cfg.min_chunk != 1) {
+        out += ",min_chunk=" + std::to_string(cfg.min_chunk);
+    }
+    return out;
+}
+
+std::optional<Approach> parse_approach(std::string_view text) {
+    const std::string s = normalized(text);
+    if (s == "MPI+MPI" || s == "MPIMPI") {
+        return Approach::MpiMpi;
+    }
+    if (s == "MPI+OPENMP" || s == "MPIOPENMP" || s == "HYBRID") {
+        return Approach::MpiOpenMp;
+    }
+    return std::nullopt;
+}
+
+HierConfig schedule_from_env(const HierConfig& fallback) {
+    const char* value = std::getenv("HDLS_SCHEDULE");
+    if (value == nullptr) {
+        return fallback;
+    }
+    if (const auto cfg = parse_schedule(value)) {
+        HierConfig merged = *cfg;
+        merged.allow_extended_openmp_schedules = fallback.allow_extended_openmp_schedules;
+        return merged;
+    }
+    util::log_warn("HDLS_SCHEDULE='", value, "' is malformed; using ",
+                   format_schedule(fallback));
+    return fallback;
+}
+
+Approach approach_from_env(Approach fallback) {
+    const char* value = std::getenv("HDLS_APPROACH");
+    if (value == nullptr) {
+        return fallback;
+    }
+    if (const auto a = parse_approach(value)) {
+        return *a;
+    }
+    util::log_warn("HDLS_APPROACH='", value, "' is malformed; using ",
+                   approach_name(fallback));
+    return fallback;
+}
+
+}  // namespace hdls::core

@@ -1,0 +1,43 @@
+#pragma once
+/// \file env_config.hpp
+/// Runtime selection of the scheduling combination — the flexibility the
+/// paper's Section 3 calls for ("one input parameter specifies the
+/// selected DLS technique", like OpenMP's schedule(runtime) clause) and
+/// plans as future work for its library form.
+///
+/// Combination syntax:  "<INTER>+<INTRA>[,min_chunk=<k>]"
+/// e.g. "GSS+STATIC", "FAC2+SS,min_chunk=4", "tss+fac2".
+/// Approach syntax:     "MPI+MPI" | "MPI+OpenMP".
+///
+/// The environment variables (the schedule(runtime) analogue):
+///     HDLS_SCHEDULE  — combination string as above
+///     HDLS_APPROACH  — approach string as above
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/types.hpp"
+
+namespace hdls::core {
+
+/// Parses "INTER+INTRA[,min_chunk=k]" (case-insensitive, spaces allowed).
+/// Returns std::nullopt with no side effects on malformed input.
+[[nodiscard]] std::optional<HierConfig> parse_schedule(std::string_view text);
+
+/// Renders a config back to its canonical string ("GSS+STATIC,min_chunk=4";
+/// the suffix is omitted when min_chunk == 1). parse(format(x)) == x.
+[[nodiscard]] std::string format_schedule(const HierConfig& cfg);
+
+/// Parses "MPI+MPI" / "MPI+OpenMP" (several common spellings accepted).
+[[nodiscard]] std::optional<Approach> parse_approach(std::string_view text);
+
+/// Reads HDLS_SCHEDULE; falls back to `fallback` when unset or malformed
+/// (malformed values are reported via util::log_warn, mirroring how OpenMP
+/// runtimes treat bad OMP_SCHEDULE values).
+[[nodiscard]] HierConfig schedule_from_env(const HierConfig& fallback = HierConfig{});
+
+/// Reads HDLS_APPROACH; same fallback contract.
+[[nodiscard]] Approach approach_from_env(Approach fallback = Approach::MpiMpi);
+
+}  // namespace hdls::core

@@ -1,0 +1,103 @@
+#pragma once
+/// \file global_queue.hpp
+/// The *global work queue* of the paper's Figure 1.
+///
+/// An RMA window hosted on rank 0 of a communicator holding the two values
+/// of the distributed chunk-calculation protocol (the paper's ref [15]):
+/// the latest scheduling step and the total scheduled iterations. Any rank
+/// obtains a chunk with two atomic fetch-and-ops and a purely local
+/// chunk-size computation — no master process:
+///
+///     step  <- fetch_and_op(+1, window[kStep])
+///     hint  <- chunk_size_for_step(technique, params, step)
+///     start <- fetch_and_op(+hint, window[kScheduled])
+///     size  <- min(hint, N - start)        // size <= 0 => loop exhausted
+///
+/// The technique's "worker count" is the number of *level-1 schedulable
+/// entities* — compute nodes for the paper's inter-node level — which is
+/// why it is a constructor parameter independent of comm.size().
+
+#include <cstdint>
+#include <optional>
+
+#include "dls/chunk_formulas.hpp"
+#include "minimpi/minimpi.hpp"
+
+namespace hdls::core {
+
+class GlobalWorkQueue {
+public:
+    /// One level-1 chunk.
+    struct Chunk {
+        std::int64_t start = 0;
+        std::int64_t size = 0;
+        std::int64_t step = 0;
+    };
+
+    /// Collective over `comm`. `level_workers` is P in the chunk formulas
+    /// (the paper uses the node count). Rank 0 hosts and zero-initializes
+    /// the window; everyone leaves through a barrier.
+    GlobalWorkQueue(const minimpi::Comm& comm, std::int64_t total_iterations,
+                    dls::Technique technique, int level_workers, std::int64_t min_chunk)
+        : comm_(comm), total_(total_iterations) {
+        params_.total_iterations = total_iterations;
+        params_.workers = level_workers;
+        params_.min_chunk = min_chunk;
+        params_.validate();
+        if (!dls::supports_step_indexed(technique)) {
+            throw minimpi::Error(minimpi::ErrorCode::InvalidArgument,
+                                 "GlobalWorkQueue: technique lacks a step-indexed form");
+        }
+        technique_ = technique;
+        window_ = minimpi::Window::allocate_shared(
+            comm, comm.rank() == 0 ? 2 * sizeof(std::int64_t) : 0);
+        if (comm.rank() == 0) {
+            auto cells = window_.shared_span<std::int64_t>(0);
+            cells[kStep] = 0;
+            cells[kScheduled] = 0;
+        }
+        window_.sync();
+        comm_.barrier();
+    }
+
+    /// Acquires the next chunk, or std::nullopt once the loop is exhausted.
+    [[nodiscard]] std::optional<Chunk> try_acquire() {
+        const std::int64_t step =
+            window_.fetch_and_op<std::int64_t>(1, 0, kStep, minimpi::AccumulateOp::Sum);
+        const std::int64_t hint = dls::chunk_size_for_step(technique_, params_, step);
+        if (hint <= 0) {
+            return std::nullopt;  // e.g. STATIC past its P chunks
+        }
+        const std::int64_t start =
+            window_.fetch_and_op<std::int64_t>(hint, 0, kScheduled, minimpi::AccumulateOp::Sum);
+        if (start >= total_) {
+            return std::nullopt;
+        }
+        ++acquired_;
+        return Chunk{start, std::min(hint, total_ - start), step};
+    }
+
+    /// Chunks acquired through *this* handle (per-rank statistic).
+    [[nodiscard]] std::int64_t acquired() const noexcept { return acquired_; }
+
+    [[nodiscard]] dls::Technique technique() const noexcept { return technique_; }
+
+    /// Collective teardown.
+    void free() {
+        comm_.barrier();
+        window_.free();
+    }
+
+private:
+    static constexpr std::size_t kStep = 0;
+    static constexpr std::size_t kScheduled = 1;
+
+    minimpi::Comm comm_;
+    minimpi::Window window_;
+    dls::LoopParams params_;
+    dls::Technique technique_{};
+    std::int64_t total_ = 0;
+    std::int64_t acquired_ = 0;
+};
+
+}  // namespace hdls::core

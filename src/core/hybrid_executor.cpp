@@ -1,0 +1,94 @@
+#include "core/hybrid_executor.hpp"
+
+#include <chrono>
+#include <optional>
+#include <string>
+
+#include "core/global_queue.hpp"
+#include "ompsim/team.hpp"
+
+namespace hdls::core {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_since(Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+[[nodiscard]] ompsim::ForOptions intra_schedule_or_throw(const HierConfig& cfg) {
+    if (const auto std_opt = ompsim::openmp_equivalent(cfg.intra)) {
+        return *std_opt;
+    }
+    if (cfg.allow_extended_openmp_schedules) {
+        if (const auto ext = ompsim::extended_equivalent(cfg.intra)) {
+            return *ext;
+        }
+    }
+    throw UnsupportedCombination(
+        std::string("MPI+OpenMP cannot schedule ") + std::string(dls::technique_name(cfg.intra)) +
+        " at the intra-node level (the OpenMP schedule clause offers only static, dynamic and "
+        "guided; enable allow_extended_openmp_schedules for the libGOMP-style extensions)");
+}
+}  // namespace
+
+std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx, int threads_per_node,
+                                         std::int64_t n, const HierConfig& cfg,
+                                         const ChunkBody& body) {
+    if (ctx.topology().ranks_per_node != 1) {
+        throw UnsupportedCombination(
+            "run_hybrid_rank: the MPI+OpenMP model maps exactly one rank per node");
+    }
+    const ompsim::ForOptions schedule = intra_schedule_or_throw(cfg);
+    const minimpi::Comm& world = ctx.world();
+
+    GlobalWorkQueue global(world, n, cfg.inter, world.size(), cfg.min_chunk);
+    ompsim::ThreadTeam team(threads_per_node);
+
+    std::vector<WorkerStats> stats(static_cast<std::size_t>(threads_per_node));
+    for (int t = 0; t < threads_per_node; ++t) {
+        stats[static_cast<std::size_t>(t)].node = ctx.node();
+        stats[static_cast<std::size_t>(t)].worker_in_node = t;
+    }
+
+    world.barrier();  // common start line
+    const Clock::time_point t0 = Clock::now();
+
+    // Shared between the team's threads within the region below.
+    std::optional<GlobalWorkQueue::Chunk> current;
+
+    team.parallel([&](int tid) {
+        auto& mine = stats[static_cast<std::size_t>(tid)];
+        for (;;) {
+            if (tid == 0) {
+                // Funneled model: only the master thread talks to MPI.
+                current = global.try_acquire();
+                if (current) {
+                    ++mine.global_refills;
+                }
+            }
+            team.barrier();  // chunk bounds published to the team
+            if (!current) {
+                break;
+            }
+            const auto chunk = *current;
+            // #pragma omp for schedule(...) over the chunk — implicit
+            // barrier at the end (Figure 2's synchronization points).
+            team.for_chunks(chunk.start, chunk.start + chunk.size, schedule,
+                            [&](std::int64_t b, std::int64_t e, int thread_id) {
+                                auto& ws = stats[static_cast<std::size_t>(thread_id)];
+                                const Clock::time_point b0 = Clock::now();
+                                body(b, e);
+                                ws.busy_seconds += seconds_since(b0);
+                                ws.iterations += e - b;
+                                ++ws.chunks;
+                            });
+        }
+        mine.finish_seconds = seconds_since(t0);
+    });
+
+    global.free();
+    return stats;
+}
+
+}  // namespace hdls::core

@@ -1,0 +1,38 @@
+#pragma once
+/// \file hybrid_executor.hpp
+/// The baseline the paper compares against: hierarchical DLS implemented
+/// with the hybrid MPI+OpenMP model.
+///
+/// One MPI rank per compute node plays the node master. The rank's OpenMP-
+/// style thread team executes each level-1 chunk under a worksharing
+/// schedule; only thread 0 performs MPI calls (the funneled model the
+/// paper describes), and every chunk ends with the implicit barrier of the
+/// worksharing construct — the idle time illustrated by the paper's
+/// Figure 2.
+
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/types.hpp"
+#include "minimpi/minimpi.hpp"
+
+namespace hdls::core {
+
+/// Thrown when a scheduling combination is not expressible in the chosen
+/// model (e.g. TSS at the intra level of MPI+OpenMP with extensions
+/// disabled — the paper's Intel-stack limitation).
+class UnsupportedCombination : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Executes the calling node-master rank's share of the hierarchical loop
+/// [0, n) with a team of `threads_per_node` threads. Collective over
+/// ctx.world() (which must contain one rank per node, i.e. topology
+/// ranks_per_node == 1). Returns one WorkerStats per thread of this node.
+[[nodiscard]] std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx,
+                                                       int threads_per_node, std::int64_t n,
+                                                       const HierConfig& cfg,
+                                                       const ChunkBody& body);
+
+}  // namespace hdls::core

@@ -1,0 +1,200 @@
+#pragma once
+/// \file local_queue.hpp
+/// The *local (node-level) work queue* of the paper's Figure 1.
+///
+/// One MPI_Win_allocate_shared window per compute node (hosted by node rank
+/// 0, directly addressable by every rank of the node communicator) holding
+/// a small FIFO of level-1 chunks plus, per chunk, the intra-node
+/// distributed chunk-calculation state (sub-step counter and scheduled
+/// count). All queue accesses happen inside an MPI_Win_lock /
+/// MPI_Win_unlock exclusive epoch on the host rank — the exact
+/// synchronization whose lock-polling cost the paper's evaluation
+/// dissects (and the reason intra-node SS performs poorly under MPI+MPI).
+///
+/// The refill protocol implements the paper's "the fastest MPI process
+/// always takes this responsibility": no designated refiller exists; a rank
+/// that finds the queue empty announces an in-flight refill (atomic
+/// counter), fetches a chunk from the global queue, and appends it. Ranks
+/// terminate only when the global queue is exhausted, the local queue is
+/// drained *and* no refill is in flight.
+
+#include <cstdint>
+#include <optional>
+
+#include "dls/chunk_formulas.hpp"
+#include "minimpi/minimpi.hpp"
+
+namespace hdls::core {
+
+class NodeWorkQueue {
+public:
+    /// One intra-node sub-chunk: execute [begin, end).
+    struct SubChunk {
+        std::int64_t begin = 0;
+        std::int64_t end = 0;
+    };
+
+    /// Collective over the node communicator (from split_type(Shared)).
+    /// `intra` must have a step-indexed form; P in its formulas is the node
+    /// communicator size.
+    NodeWorkQueue(const minimpi::Comm& node_comm, dls::Technique intra, std::int64_t min_chunk)
+        : comm_(node_comm), capacity_(node_comm.size() + 4) {
+        if (!dls::supports_step_indexed(intra)) {
+            throw minimpi::Error(minimpi::ErrorCode::InvalidArgument,
+                                 "NodeWorkQueue: technique lacks a step-indexed form");
+        }
+        intra_ = intra;
+        min_chunk_ = min_chunk;
+        const std::size_t cells = kSlotBase + kSlotFields * static_cast<std::size_t>(capacity_);
+        window_ = minimpi::Window::allocate_shared(
+            node_comm, node_comm.rank() == 0 ? cells * sizeof(std::int64_t) : 0);
+        if (node_comm.rank() == 0) {
+            auto mem = window_.shared_span<std::int64_t>(0);
+            for (auto& v : mem) {
+                v = 0;
+            }
+        }
+        window_.sync();
+        comm_.barrier();
+    }
+
+    /// Stage 2 of the paper's protocol: grab a sub-chunk from the queue.
+    /// Returns std::nullopt when no chunk currently holds unassigned work.
+    [[nodiscard]] std::optional<SubChunk> try_pop() {
+        window_.lock(minimpi::LockType::Exclusive, kHost);
+        const auto sub = pop_locked();
+        window_.unlock(kHost);
+        return sub;
+    }
+
+    /// Announce an in-flight refill *before* touching the global queue so
+    /// peers do not terminate while a chunk is on its way.
+    void begin_refill() {
+        (void)window_.fetch_and_op<std::int64_t>(1, kHost, kInflight,
+                                                 minimpi::AccumulateOp::Sum);
+    }
+
+    /// Withdraw the announcement (global queue turned out to be empty).
+    void end_refill() {
+        (void)window_.fetch_and_op<std::int64_t>(-1, kHost, kInflight,
+                                                 minimpi::AccumulateOp::Sum);
+    }
+
+    /// Stage 1+2 combined: append a fresh level-1 chunk and immediately pop
+    /// this rank's first sub-chunk from it (single lock epoch), then
+    /// withdraw the in-flight announcement.
+    [[nodiscard]] std::optional<SubChunk> push_and_pop(std::int64_t start, std::int64_t size) {
+        window_.lock(minimpi::LockType::Exclusive, kHost);
+        auto mem = window_.shared_span<std::int64_t>(kHost);
+        const std::int64_t head = mem[kHead];
+        const std::int64_t tail = mem[kTail];
+        if (tail - head >= capacity_) {
+            window_.unlock(kHost);
+            throw minimpi::Error(minimpi::ErrorCode::Internal,
+                                 "NodeWorkQueue: queue capacity exceeded");
+        }
+        std::int64_t* slot = slot_of(mem, tail);
+        slot[kChunkStart] = start;
+        slot[kChunkSize] = size;
+        slot[kSubStep] = 0;
+        slot[kSubScheduled] = 0;
+        mem[kTail] = tail + 1;
+        const auto sub = pop_locked();
+        window_.unlock(kHost);
+        end_refill();
+        return sub;
+    }
+
+    /// True while any chunk in the queue still has unassigned iterations.
+    [[nodiscard]] bool has_pending() {
+        window_.lock(minimpi::LockType::Shared, kHost);
+        auto mem = window_.shared_span<std::int64_t>(kHost);
+        bool pending = false;
+        for (std::int64_t i = mem[kHead]; i < mem[kTail]; ++i) {
+            const std::int64_t* slot = slot_of(mem, i);
+            if (slot[kSubScheduled] < slot[kChunkSize]) {
+                pending = true;
+                break;
+            }
+        }
+        window_.unlock(kHost);
+        return pending;
+    }
+
+    /// True while some rank is between begin_refill() and its completion.
+    [[nodiscard]] bool refills_in_flight() {
+        return window_.atomic_read<std::int64_t>(kHost, kInflight) > 0;
+    }
+
+    /// Sub-chunks popped through this handle (per-rank statistic).
+    [[nodiscard]] std::int64_t popped() const noexcept { return popped_; }
+
+    /// Collective teardown.
+    void free() {
+        comm_.barrier();
+        window_.free();
+    }
+
+private:
+    static constexpr int kHost = 0;  // node rank hosting the queue memory
+    static constexpr std::size_t kHead = 0;
+    static constexpr std::size_t kTail = 1;
+    static constexpr std::size_t kInflight = 2;
+    static constexpr std::size_t kSlotBase = 4;  // one spare cell keeps slots aligned
+    static constexpr std::size_t kSlotFields = 4;
+    static constexpr std::size_t kChunkStart = 0;
+    static constexpr std::size_t kChunkSize = 1;
+    static constexpr std::size_t kSubStep = 2;
+    static constexpr std::size_t kSubScheduled = 3;
+
+    [[nodiscard]] std::int64_t* slot_of(std::span<std::int64_t> mem,
+                                        std::int64_t index) const noexcept {
+        const auto s = static_cast<std::size_t>(index % capacity_);
+        return mem.data() + kSlotBase + kSlotFields * s;
+    }
+
+    /// Core allocation step; caller holds the exclusive lock.
+    [[nodiscard]] std::optional<SubChunk> pop_locked() {
+        auto mem = window_.shared_span<std::int64_t>(kHost);
+        while (mem[kHead] < mem[kTail]) {
+            std::int64_t* slot = slot_of(mem, mem[kHead]);
+            const std::int64_t size = slot[kChunkSize];
+            const std::int64_t scheduled = slot[kSubScheduled];
+            if (scheduled >= size) {
+                ++mem[kHead];  // chunk fully assigned; retire it
+                continue;
+            }
+            dls::LoopParams p;
+            p.total_iterations = size;
+            p.workers = comm_.size();
+            p.min_chunk = min_chunk_;
+            const std::int64_t hint = dls::chunk_size_for_step(intra_, p, slot[kSubStep]);
+            if (hint <= 0) {
+                // Defensive: a formula that runs dry before the chunk is
+                // fully assigned (cannot happen for the supported
+                // techniques) — hand out the remainder.
+                const std::int64_t begin = slot[kChunkStart] + scheduled;
+                slot[kSubScheduled] = size;
+                ++slot[kSubStep];
+                ++popped_;
+                return SubChunk{begin, slot[kChunkStart] + size};
+            }
+            const std::int64_t take = std::min(hint, size - scheduled);
+            slot[kSubScheduled] = scheduled + take;
+            ++slot[kSubStep];
+            ++popped_;
+            const std::int64_t begin = slot[kChunkStart] + scheduled;
+            return SubChunk{begin, begin + take};
+        }
+        return std::nullopt;
+    }
+
+    minimpi::Comm comm_;
+    minimpi::Window window_;
+    dls::Technique intra_{};
+    std::int64_t min_chunk_ = 1;
+    std::int64_t capacity_ = 0;
+    std::int64_t popped_ = 0;
+};
+
+}  // namespace hdls::core

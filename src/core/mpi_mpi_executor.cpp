@@ -1,0 +1,74 @@
+#include "core/mpi_mpi_executor.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "core/global_queue.hpp"
+#include "core/local_queue.hpp"
+
+namespace hdls::core {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_since(Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+}  // namespace
+
+WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierConfig& cfg,
+                             const ChunkBody& body) {
+    const minimpi::Comm& world = ctx.world();
+    // MPI_Comm_split_type(MPI_COMM_TYPE_SHARED): the ranks of my node.
+    const minimpi::Comm node = world.split_type(minimpi::SplitType::Shared, world.rank());
+
+    GlobalWorkQueue global(world, n, cfg.inter, ctx.nodes(), cfg.min_chunk);
+    NodeWorkQueue local(node, cfg.intra, cfg.min_chunk);
+
+    WorkerStats stats;
+    stats.node = ctx.node();
+    stats.worker_in_node = node.rank();
+
+    world.barrier();  // common start line
+    const Clock::time_point t0 = Clock::now();
+
+    const auto execute = [&](const NodeWorkQueue::SubChunk& sc) {
+        const Clock::time_point b0 = Clock::now();
+        body(sc.begin, sc.end);
+        stats.busy_seconds += seconds_since(b0);
+        stats.iterations += sc.end - sc.begin;
+        ++stats.chunks;
+    };
+
+    for (;;) {
+        // Stage 2 first: the node queue may already hold sub-chunks.
+        if (const auto sub = local.try_pop()) {
+            execute(*sub);
+            continue;
+        }
+        // Queue drained: this rank happens to be the fastest — refill.
+        local.begin_refill();
+        if (const auto chunk = global.try_acquire()) {
+            ++stats.global_refills;
+            if (const auto sub = local.push_and_pop(chunk->start, chunk->size)) {
+                execute(*sub);
+            }
+            continue;
+        }
+        local.end_refill();
+        // Global queue exhausted. Terminate only when no peer is mid-refill
+        // and nothing is left to pop, otherwise work could still appear.
+        if (!local.refills_in_flight() && !local.has_pending()) {
+            break;
+        }
+        std::this_thread::yield();
+    }
+
+    stats.finish_seconds = seconds_since(t0);
+
+    local.free();
+    global.free();
+    return stats;
+}
+
+}  // namespace hdls::core

@@ -1,0 +1,59 @@
+#include "core/report.hpp"
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace hdls::core {
+
+std::int64_t ExecutionReport::executed_iterations() const noexcept {
+    std::int64_t total = 0;
+    for (const auto& w : workers) {
+        total += w.iterations;
+    }
+    return total;
+}
+
+std::int64_t ExecutionReport::global_chunks() const noexcept {
+    std::int64_t total = 0;
+    for (const auto& w : workers) {
+        total += w.global_refills;
+    }
+    return total;
+}
+
+std::int64_t ExecutionReport::executed_chunks() const noexcept {
+    std::int64_t total = 0;
+    for (const auto& w : workers) {
+        total += w.chunks;
+    }
+    return total;
+}
+
+double ExecutionReport::finish_cov() const noexcept {
+    util::OnlineStats s;
+    for (const auto& w : workers) {
+        s.add(w.finish_seconds);
+    }
+    return s.cov();
+}
+
+int ExecutionReport::distinct_refillers() const noexcept {
+    int count = 0;
+    for (const auto& w : workers) {
+        count += w.global_refills > 0 ? 1 : 0;
+    }
+    return count;
+}
+
+void ExecutionReport::print(std::ostream& os) const {
+    os << approach_name(approach) << "  " << dls::technique_name(inter) << "+"
+       << dls::technique_name(intra) << "  nodes=" << shape.nodes
+       << " workers/node=" << shape.workers_per_node << " N=" << total_iterations << "\n"
+       << "  parallel time: " << util::format_seconds(parallel_seconds)
+       << "  finish CoV: " << util::format_double(finish_cov(), 4)
+       << "  global chunks: " << global_chunks()
+       << "  executed chunks: " << executed_chunks()
+       << "  refillers: " << distinct_refillers() << "\n";
+}
+
+}  // namespace hdls::core

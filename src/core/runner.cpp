@@ -1,0 +1,112 @@
+#include "core/runner.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "core/hybrid_executor.hpp"
+#include "core/mpi_mpi_executor.hpp"
+#include "minimpi/minimpi.hpp"
+#include "ompsim/schedule.hpp"
+
+namespace hdls::core {
+
+void validate_combination(const ClusterShape& shape, Approach approach, const HierConfig& cfg) {
+    if (shape.nodes < 1 || shape.workers_per_node < 1) {
+        throw std::invalid_argument("run_hierarchical: cluster shape must be positive");
+    }
+    if (cfg.min_chunk < 1) {
+        throw std::invalid_argument("run_hierarchical: min_chunk must be >= 1");
+    }
+    if (!dls::supports_step_indexed(cfg.inter)) {
+        throw std::invalid_argument(
+            std::string("run_hierarchical: inter-node technique ") +
+            std::string(dls::technique_name(cfg.inter)) +
+            " lacks a step-indexed form (required by the distributed chunk calculation)");
+    }
+    switch (approach) {
+        case Approach::MpiMpi:
+            if (!dls::supports_step_indexed(cfg.intra)) {
+                throw std::invalid_argument(
+                    std::string("run_hierarchical: intra-node technique ") +
+                    std::string(dls::technique_name(cfg.intra)) +
+                    " lacks a step-indexed form (required by the MPI+MPI local queue)");
+            }
+            break;
+        case Approach::MpiOpenMp: {
+            const bool expressible =
+                ompsim::openmp_equivalent(cfg.intra).has_value() ||
+                (cfg.allow_extended_openmp_schedules &&
+                 ompsim::extended_equivalent(cfg.intra).has_value());
+            if (!expressible) {
+                throw UnsupportedCombination(
+                    std::string("run_hierarchical: MPI+OpenMP cannot schedule ") +
+                    std::string(dls::technique_name(cfg.intra)) + " at the intra-node level");
+            }
+            break;
+        }
+    }
+}
+
+ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
+                                 const HierConfig& cfg, std::int64_t n, const ChunkBody& body) {
+    validate_combination(shape, approach, cfg);
+    if (n < 0) {
+        throw std::invalid_argument("run_hierarchical: n must be >= 0");
+    }
+    if (!body) {
+        throw std::invalid_argument("run_hierarchical: body must not be empty");
+    }
+
+    ExecutionReport report;
+    report.approach = approach;
+    report.shape = shape;
+    report.inter = cfg.inter;
+    report.intra = cfg.intra;
+    report.total_iterations = n;
+    report.workers.assign(static_cast<std::size_t>(shape.total_workers()), WorkerStats{});
+
+    std::mutex merge_mutex;
+
+    switch (approach) {
+        case Approach::MpiMpi: {
+            minimpi::Topology topo{shape.workers_per_node};
+            minimpi::Runtime::run(shape.total_workers(), topo, [&](minimpi::Context& ctx) {
+                const WorkerStats stats = run_mpi_mpi_rank(ctx, n, cfg, body);
+                const std::lock_guard<std::mutex> lock(merge_mutex);
+                report.workers[static_cast<std::size_t>(ctx.rank())] = stats;
+            });
+            break;
+        }
+        case Approach::MpiOpenMp: {
+            minimpi::Topology topo{1};  // one master rank per node
+            minimpi::Runtime::run(shape.nodes, topo, [&](minimpi::Context& ctx) {
+                const auto stats =
+                    run_hybrid_rank(ctx, shape.workers_per_node, n, cfg, body);
+                const std::lock_guard<std::mutex> lock(merge_mutex);
+                for (int t = 0; t < shape.workers_per_node; ++t) {
+                    report.workers[static_cast<std::size_t>(
+                        ctx.rank() * shape.workers_per_node + t)] =
+                        stats[static_cast<std::size_t>(t)];
+                }
+            });
+            break;
+        }
+    }
+
+    double max_finish = 0.0;
+    for (const auto& w : report.workers) {
+        max_finish = std::max(max_finish, w.finish_seconds);
+    }
+    report.parallel_seconds = max_finish;
+    return report;
+}
+
+void run_serial(std::int64_t n, const ChunkBody& body) {
+    if (n > 0) {
+        body(0, n);
+    }
+}
+
+}  // namespace hdls::core

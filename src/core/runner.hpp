@@ -1,0 +1,26 @@
+#pragma once
+/// \file runner.hpp
+/// One-call entry point: execute a loop hierarchically on a simulated
+/// cluster and collect the execution report.
+
+#include "core/report.hpp"
+#include "core/types.hpp"
+
+namespace hdls::core {
+
+/// Validates a (shape, approach, config) combination; throws
+/// std::invalid_argument / UnsupportedCombination with a actionable
+/// message if the combination cannot run.
+void validate_combination(const ClusterShape& shape, Approach approach, const HierConfig& cfg);
+
+/// Runs the loop [0, n) under the given approach on a thread-backed
+/// cluster of shape.nodes x shape.workers_per_node and returns the merged
+/// report. `body` must be thread-safe across disjoint ranges.
+[[nodiscard]] ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
+                                               const HierConfig& cfg, std::int64_t n,
+                                               const ChunkBody& body);
+
+/// Serial reference execution (for correctness comparisons).
+void run_serial(std::int64_t n, const ChunkBody& body);
+
+}  // namespace hdls::core

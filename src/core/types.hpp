@@ -1,0 +1,56 @@
+#pragma once
+/// \file types.hpp
+/// Public configuration types of the hierarchical DLS library.
+
+#include <cstdint>
+#include <functional>
+
+#include "dls/technique.hpp"
+
+namespace hdls::core {
+
+/// Which hierarchical implementation executes the loop.
+enum class Approach {
+    MpiMpi,     ///< the paper's proposal: MPI ranks + shared-memory windows
+    MpiOpenMp,  ///< the baseline: one rank per node + OpenMP-style threads
+};
+
+[[nodiscard]] constexpr std::string_view approach_name(Approach a) noexcept {
+    switch (a) {
+        case Approach::MpiMpi:
+            return "MPI+MPI";
+        case Approach::MpiOpenMp:
+            return "MPI+OpenMP";
+    }
+    return "?";
+}
+
+/// Simulated cluster shape: `nodes` compute nodes with `workers_per_node`
+/// processing elements each (MPI ranks for MPI+MPI, threads for
+/// MPI+OpenMP). The paper's evaluation uses 2..16 nodes x 16.
+struct ClusterShape {
+    int nodes = 2;
+    int workers_per_node = 16;
+
+    [[nodiscard]] int total_workers() const noexcept { return nodes * workers_per_node; }
+};
+
+/// The scheduling combination "X + Y" of the paper: X at the inter-node
+/// level (over nodes), Y at the intra-node level (over a node's workers).
+struct HierConfig {
+    dls::Technique inter = dls::Technique::GSS;
+    dls::Technique intra = dls::Technique::GSS;
+    /// Smallest chunk either level may produce.
+    std::int64_t min_chunk = 1;
+    /// Allow TSS/FAC2 at the intra level of the MPI+OpenMP baseline via the
+    /// extension schedules (LaPeSD-libGOMP-style). The paper's Intel stack
+    /// cannot do this — benches reproducing the paper disable it and report
+    /// "n/a" for those combinations.
+    bool allow_extended_openmp_schedules = true;
+};
+
+/// Loop body executed chunk-wise. MUST be thread-safe across disjoint
+/// ranges: chunks run concurrently on all workers of the cluster.
+using ChunkBody = std::function<void(std::int64_t begin, std::int64_t end)>;
+
+}  // namespace hdls::core

@@ -1,0 +1,46 @@
+/// \file scheduler.cpp
+/// Factory and convenience helpers for the stateful schedulers.
+
+#include "dls/scheduler.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace hdls::dls {
+
+namespace detail {
+std::unique_ptr<Scheduler> make_simple_scheduler(Technique t, const LoopParams& p);
+std::unique_ptr<Scheduler> make_factoring_scheduler(Technique t, const LoopParams& p);
+std::unique_ptr<Scheduler> make_weighted_scheduler(Technique t, const LoopParams& p);
+}  // namespace detail
+
+std::unique_ptr<Scheduler> make_scheduler(Technique t, const LoopParams& params) {
+    params.validate();
+    if (auto s = detail::make_simple_scheduler(t, params)) {
+        return s;
+    }
+    if (auto s = detail::make_factoring_scheduler(t, params)) {
+        return s;
+    }
+    if (auto s = detail::make_weighted_scheduler(t, params)) {
+        return s;
+    }
+    throw std::invalid_argument(std::string("make_scheduler: unhandled technique ") +
+                                std::string(technique_name(t)));
+}
+
+std::vector<Assignment> enumerate_chunks(Technique t, const LoopParams& params) {
+    auto sched = make_scheduler(t, params);
+    std::vector<Assignment> out;
+    // Round-robin requesters; only the weighted techniques are sensitive to
+    // requester identity, and round-robin matches their classic "one chunk
+    // per worker per batch" formulation.
+    int worker = 0;
+    while (auto a = sched->next(worker)) {
+        out.push_back(*a);
+        worker = (worker + 1) % params.workers;
+    }
+    return out;
+}
+
+}  // namespace hdls::dls

@@ -1,0 +1,72 @@
+#pragma once
+/// \file scheduler.hpp
+/// Stateful, sequential ("master-side") chunk generators for every DLS
+/// technique.
+///
+/// A Scheduler instance owns the scheduling state of ONE loop execution. It
+/// is deliberately not thread-safe: in master-worker designs a single entity
+/// serializes next() calls; in the paper's distributed design the step-
+/// indexed formulas (chunk_formulas.hpp) are used instead and the shared
+/// counters provide the serialization. The test suite cross-validates the
+/// two forms against each other.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "dls/params.hpp"
+#include "dls/technique.hpp"
+
+namespace hdls::dls {
+
+/// One chunk assignment produced by a Scheduler.
+struct Assignment {
+    std::int64_t start = 0;  ///< first iteration index (0-based, inclusive)
+    std::int64_t size = 0;   ///< number of iterations (> 0)
+    std::int64_t step = 0;   ///< scheduling step that produced this chunk
+
+    [[nodiscard]] std::int64_t end() const noexcept { return start + size; }
+    friend bool operator==(const Assignment&, const Assignment&) = default;
+};
+
+/// Interface of a stateful chunk generator.
+class Scheduler {
+public:
+    virtual ~Scheduler() = default;
+
+    /// Produces the next chunk for `worker` (0-based id), or std::nullopt
+    /// when all iterations have been assigned. Chunks partition [0, N):
+    /// consecutive calls return contiguous, non-overlapping ranges.
+    [[nodiscard]] virtual std::optional<Assignment> next(int worker) = 0;
+
+    /// Runtime feedback hook used by the adaptive techniques (AWF-*).
+    /// `compute_seconds` is the pure loop-body time for the chunk;
+    /// `overhead_seconds` the scheduling overhead attributable to it
+    /// (AWF-D/E include the latter in their rate estimate, AWF-B/C do not).
+    virtual void report(int worker, std::int64_t iterations, double compute_seconds,
+                        double overhead_seconds) {
+        (void)worker;
+        (void)iterations;
+        (void)compute_seconds;
+        (void)overhead_seconds;
+    }
+
+    /// Remaining unassigned iterations.
+    [[nodiscard]] virtual std::int64_t remaining() const noexcept = 0;
+
+    /// Scheduling steps issued so far.
+    [[nodiscard]] virtual std::int64_t steps_issued() const noexcept = 0;
+
+    /// The technique this scheduler implements.
+    [[nodiscard]] virtual Technique technique() const noexcept = 0;
+};
+
+/// Creates a scheduler for `t`. Validates `params` (throws
+/// std::invalid_argument on bad input).
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(Technique t, const LoopParams& params);
+
+/// Convenience: drains a scheduler round-robin over `workers` and returns
+/// every assignment in issue order (used by tests, Table-1 bench and docs).
+[[nodiscard]] std::vector<Assignment> enumerate_chunks(Technique t, const LoopParams& params);
+
+}  // namespace hdls::dls

@@ -1,0 +1,65 @@
+#pragma once
+/// \file scheduler_base.hpp
+/// Internal base class shared by the stateful scheduler implementations.
+/// Not part of the public API (include scheduler.hpp instead).
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dls/scheduler.hpp"
+
+namespace hdls::dls::detail {
+
+/// Implements the next()/remaining bookkeeping common to all techniques;
+/// derived classes only provide the chunk-size rule.
+class SchedulerBase : public Scheduler {
+public:
+    SchedulerBase(Technique t, const LoopParams& params) : tech_(t), p_(params) {
+        p_.validate();
+    }
+
+    [[nodiscard]] std::optional<Assignment> next(int worker) final {
+        if (worker < 0 || worker >= p_.workers) {
+            throw std::out_of_range("Scheduler::next: worker id out of range");
+        }
+        if (scheduled_ >= p_.total_iterations) {
+            return std::nullopt;
+        }
+        std::int64_t size = compute_size(worker);
+        size = std::clamp<std::int64_t>(size, 1, p_.total_iterations - scheduled_);
+        const Assignment a{scheduled_, size, step_};
+        scheduled_ += size;
+        ++step_;
+        on_issued(worker, a);
+        return a;
+    }
+
+    [[nodiscard]] std::int64_t remaining() const noexcept final {
+        return p_.total_iterations - scheduled_;
+    }
+    [[nodiscard]] std::int64_t steps_issued() const noexcept final { return step_; }
+    [[nodiscard]] Technique technique() const noexcept final { return tech_; }
+
+protected:
+    /// Chunk-size rule; called only while iterations remain. The returned
+    /// value is clamped to [1, remaining] by the caller.
+    [[nodiscard]] virtual std::int64_t compute_size(int worker) = 0;
+
+    /// Hook invoked after an assignment is issued (batch bookkeeping).
+    virtual void on_issued(int worker, const Assignment& a) {
+        (void)worker;
+        (void)a;
+    }
+
+    [[nodiscard]] const LoopParams& params() const noexcept { return p_; }
+    [[nodiscard]] std::int64_t scheduled() const noexcept { return scheduled_; }
+    [[nodiscard]] std::int64_t step() const noexcept { return step_; }
+
+private:
+    Technique tech_;
+    LoopParams p_;
+    std::int64_t scheduled_ = 0;
+    std::int64_t step_ = 0;
+};
+
+}  // namespace hdls::dls::detail

@@ -1,0 +1,111 @@
+/// \file scheduler_factoring.cpp
+/// Stateful schedulers for the factoring family: FAC (probabilistic), FAC2
+/// (practical halving) and TFSS (trapezoid factoring).
+///
+/// All three schedule *batches* of P equally-sized chunks; they differ in
+/// how the batch size is derived from the remaining iterations.
+
+#include <cmath>
+
+#include "dls/chunk_formulas.hpp"
+#include "dls/scheduler_base.hpp"
+
+namespace hdls::dls::detail {
+
+/// Shared batch bookkeeping: a new batch of P chunks opens whenever the
+/// previous one is exhausted; derived classes compute the per-chunk size of
+/// a fresh batch.
+class BatchedScheduler : public SchedulerBase {
+public:
+    using SchedulerBase::SchedulerBase;
+
+protected:
+    /// Per-chunk size for a new batch, given the remaining iterations.
+    [[nodiscard]] virtual std::int64_t batch_chunk_size(std::int64_t remaining_iters) = 0;
+
+    std::int64_t compute_size(int /*worker*/) final {
+        if (slots_left_ == 0 || quota_left_ <= 0) {
+            open_batch();
+        }
+        --slots_left_;
+        const std::int64_t size = std::min(chunk_, quota_left_);
+        quota_left_ -= size;
+        return size;
+    }
+
+    void open_batch() {
+        chunk_ = std::max(batch_chunk_size(remaining()), params().min_chunk);
+        slots_left_ = params().workers;
+        quota_left_ = chunk_ * params().workers;
+        ++batch_index_;
+    }
+
+    [[nodiscard]] std::int64_t batch_index() const noexcept { return batch_index_; }
+
+private:
+    std::int64_t chunk_ = 0;
+    int slots_left_ = 0;
+    std::int64_t quota_left_ = 0;
+    std::int64_t batch_index_ = -1;
+};
+
+/// FAC: batch ratio x_j = 1 + b_j^2 + b_j*sqrt(b_j^2 + 2) with
+/// b_j = P*sigma / (2*sqrt(R_j)*mu); chunk = ceil(R_j / (x_j * P)).
+/// With sigma = 0 this degenerates to one batch of size R (b = 0, x = 1),
+/// matching the theory: no variance means no reason to hold anything back.
+class FacScheduler final : public BatchedScheduler {
+public:
+    using BatchedScheduler::BatchedScheduler;
+
+private:
+    std::int64_t batch_chunk_size(std::int64_t remaining_iters) override {
+        const auto& p = params();
+        const auto workers = static_cast<double>(p.workers);
+        const auto r = static_cast<double>(remaining_iters);
+        const double b = (workers * p.sigma) / (2.0 * std::sqrt(r) * p.mu);
+        const double x = 1.0 + b * b + b * std::sqrt(b * b + 2.0);
+        return static_cast<std::int64_t>(std::ceil(r / (x * workers)));
+    }
+};
+
+/// FAC2: every batch assigns half of the remaining iterations as P equal
+/// chunks: chunk = ceil(R / (2P)). Its first chunk is half of GSS's.
+class Fac2Scheduler final : public BatchedScheduler {
+public:
+    using BatchedScheduler::BatchedScheduler;
+
+private:
+    std::int64_t batch_chunk_size(std::int64_t remaining_iters) override {
+        const auto workers = static_cast<std::int64_t>(params().workers);
+        return (remaining_iters + 2 * workers - 1) / (2 * workers);
+    }
+};
+
+/// TFSS: batches of P chunks whose size follows TSS's linear decrease — the
+/// batch chunk is the mean of the next P TSS chunk sizes.
+class TfssScheduler final : public BatchedScheduler {
+public:
+    using BatchedScheduler::BatchedScheduler;
+
+private:
+    std::int64_t batch_chunk_size(std::int64_t /*remaining_iters*/) override {
+        const auto workers = static_cast<std::int64_t>(params().workers);
+        const std::int64_t first_step = (batch_index() + 1) * workers;
+        return tfss_chunk(params(), first_step);
+    }
+};
+
+std::unique_ptr<Scheduler> make_factoring_scheduler(Technique t, const LoopParams& p) {
+    switch (t) {
+        case Technique::FAC:
+            return std::make_unique<FacScheduler>(t, p);
+        case Technique::FAC2:
+            return std::make_unique<Fac2Scheduler>(t, p);
+        case Technique::TFSS:
+            return std::make_unique<TfssScheduler>(t, p);
+        default:
+            return nullptr;
+    }
+}
+
+}  // namespace hdls::dls::detail

@@ -1,0 +1,102 @@
+/// \file scheduler_simple.cpp
+/// Stateful schedulers for the non-batched techniques: STATIC, SS, FSC,
+/// GSS, TSS and RND. The batched (factoring-family) techniques live in
+/// scheduler_factoring.cpp / scheduler_weighted.cpp.
+
+#include <cmath>
+
+#include "dls/chunk_formulas.hpp"
+#include "dls/scheduler_base.hpp"
+
+namespace hdls::dls::detail {
+
+/// STATIC: exactly P chunks of ~N/P. Chunk sizes follow the step-indexed
+/// closed form so both forms agree bit-for-bit.
+class StaticScheduler final : public SchedulerBase {
+public:
+    using SchedulerBase::SchedulerBase;
+
+private:
+    std::int64_t compute_size(int /*worker*/) override {
+        return static_chunk(params(), step());
+    }
+};
+
+/// SS: pure self-scheduling; every chunk is min_chunk (1 by default).
+class SsScheduler final : public SchedulerBase {
+public:
+    using SchedulerBase::SchedulerBase;
+
+private:
+    std::int64_t compute_size(int /*worker*/) override { return params().min_chunk; }
+};
+
+/// FSC: fixed chunk from the Kruskal–Weiss formula (or an explicit size).
+class FscScheduler final : public SchedulerBase {
+public:
+    FscScheduler(Technique t, const LoopParams& p)
+        : SchedulerBase(t, p), chunk_(fsc_chunk(params())) {}
+
+private:
+    std::int64_t compute_size(int /*worker*/) override { return chunk_; }
+
+    std::int64_t chunk_;
+};
+
+/// GSS: chunk = ceil(remaining / P). The stateful form uses the *exact*
+/// remaining count (master semantics); the step-indexed closed form
+/// (gss_chunk) approximates it — the tests bound the divergence.
+class GssScheduler final : public SchedulerBase {
+public:
+    using SchedulerBase::SchedulerBase;
+
+private:
+    std::int64_t compute_size(int /*worker*/) override {
+        const auto workers = static_cast<std::int64_t>(params().workers);
+        const std::int64_t size = (remaining() + workers - 1) / workers;
+        return std::max(size, params().min_chunk);
+    }
+};
+
+/// TSS: linear decrease c_{s+1} = c_s - delta from F = ceil(N/2P) to L = 1.
+class TssScheduler final : public SchedulerBase {
+public:
+    TssScheduler(Technique t, const LoopParams& p) : SchedulerBase(t, p) {}
+
+private:
+    std::int64_t compute_size(int /*worker*/) override {
+        return tss_chunk(params(), step());
+    }
+};
+
+/// RND: uniformly random chunk in [lo, hi], deterministic per (seed, step).
+class RndScheduler final : public SchedulerBase {
+public:
+    using SchedulerBase::SchedulerBase;
+
+private:
+    std::int64_t compute_size(int /*worker*/) override {
+        return rnd_chunk(params(), step());
+    }
+};
+
+std::unique_ptr<Scheduler> make_simple_scheduler(Technique t, const LoopParams& p) {
+    switch (t) {
+        case Technique::Static:
+            return std::make_unique<StaticScheduler>(t, p);
+        case Technique::SS:
+            return std::make_unique<SsScheduler>(t, p);
+        case Technique::FSC:
+            return std::make_unique<FscScheduler>(t, p);
+        case Technique::GSS:
+            return std::make_unique<GssScheduler>(t, p);
+        case Technique::TSS:
+            return std::make_unique<TssScheduler>(t, p);
+        case Technique::RND:
+            return std::make_unique<RndScheduler>(t, p);
+        default:
+            return nullptr;
+    }
+}
+
+}  // namespace hdls::dls::detail

@@ -1,0 +1,168 @@
+/// \file scheduler_weighted.cpp
+/// Stateful schedulers for the weighted factoring family: WF (static
+/// weights) and the four adaptive-weighted-factoring variants AWF-B/C/D/E.
+///
+/// All five schedule FAC2-style batches (half the remaining iterations per
+/// batch, one slot per worker) but size each requester's chunk by its
+/// weight. WF's weights are fixed inputs; AWF's are measured rates:
+///
+///   AWF-B  adapt at batch boundaries, rate = iterations / compute time
+///   AWF-C  adapt at every chunk,      rate = iterations / compute time
+///   AWF-D  adapt at batch boundaries, rate includes scheduling overhead
+///   AWF-E  adapt at every chunk,      rate includes scheduling overhead
+///
+/// (Banicescu et al., Cluster Computing 2003; Carino & Banicescu 2008.)
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "dls/scheduler_base.hpp"
+
+namespace hdls::dls::detail {
+
+/// Common machinery: batches with per-worker weighted shares.
+class WeightedBatchScheduler : public SchedulerBase {
+public:
+    WeightedBatchScheduler(Technique t, const LoopParams& p) : SchedulerBase(t, p) {
+        weights_.assign(static_cast<std::size_t>(params().workers), 1.0);
+        if (!params().weights.empty()) {
+            weights_ = params().weights;
+        }
+        normalize(weights_);
+    }
+
+protected:
+    /// Recomputes `weights_` (mean 1). Default: keep current (WF).
+    virtual void refresh_weights() {}
+
+    /// Whether weights refresh on every chunk (AWF-C/E) rather than only at
+    /// batch boundaries (WF, AWF-B/D).
+    [[nodiscard]] virtual bool per_chunk_adaptation() const noexcept { return false; }
+
+    std::int64_t compute_size(int worker) final {
+        if (slots_left_ == 0 || quota_left_ <= 0) {
+            refresh_weights();
+            open_batch();
+        } else if (per_chunk_adaptation()) {
+            refresh_weights();
+        }
+        --slots_left_;
+        const auto share = static_cast<double>(batch_total_) *
+                           weights_[static_cast<std::size_t>(worker)] /
+                           static_cast<double>(params().workers);
+        auto size = static_cast<std::int64_t>(std::ceil(share));
+        size = std::max(size, params().min_chunk);
+        size = std::min(size, quota_left_);
+        quota_left_ -= size;
+        return size;
+    }
+
+    static void normalize(std::vector<double>& w) {
+        const double sum = std::accumulate(w.begin(), w.end(), 0.0);
+        if (sum <= 0.0) {
+            std::fill(w.begin(), w.end(), 1.0);
+            return;
+        }
+        const double scale = static_cast<double>(w.size()) / sum;
+        for (double& x : w) {
+            x *= scale;
+        }
+    }
+
+    std::vector<double> weights_;
+
+private:
+    void open_batch() {
+        const auto workers = static_cast<std::int64_t>(params().workers);
+        // FAC2 batch: half the remaining iterations.
+        batch_total_ = std::max<std::int64_t>((remaining() + 1) / 2, params().min_chunk);
+        quota_left_ = batch_total_;
+        slots_left_ = static_cast<int>(workers);
+    }
+
+    std::int64_t batch_total_ = 0;
+    std::int64_t quota_left_ = 0;
+    int slots_left_ = 0;
+};
+
+/// WF: fixed user-provided weights.
+class WfScheduler final : public WeightedBatchScheduler {
+public:
+    using WeightedBatchScheduler::WeightedBatchScheduler;
+};
+
+/// AWF: weights derived from reported per-worker execution rates.
+class AwfScheduler final : public WeightedBatchScheduler {
+public:
+    AwfScheduler(Technique t, const LoopParams& p)
+        : WeightedBatchScheduler(t, p),
+          per_chunk_(t == Technique::AWFC || t == Technique::AWFE),
+          include_overhead_(t == Technique::AWFD || t == Technique::AWFE) {
+        const auto n = static_cast<std::size_t>(params().workers);
+        iters_.assign(n, 0);
+        compute_s_.assign(n, 0.0);
+        overhead_s_.assign(n, 0.0);
+    }
+
+    void report(int worker, std::int64_t iterations, double compute_seconds,
+                double overhead_seconds) override {
+        if (worker < 0 || worker >= params().workers) {
+            throw std::out_of_range("Scheduler::report: worker id out of range");
+        }
+        const auto w = static_cast<std::size_t>(worker);
+        iters_[w] += iterations;
+        compute_s_[w] += compute_seconds;
+        overhead_s_[w] += overhead_seconds;
+    }
+
+private:
+    [[nodiscard]] bool per_chunk_adaptation() const noexcept override { return per_chunk_; }
+
+    void refresh_weights() override {
+        // Rate pi_p = executed iterations / elapsed time. Workers without
+        // measurements keep a neutral weight equal to the mean of observed
+        // rates (i.e. 1 after normalization).
+        std::vector<double> rates(iters_.size(), -1.0);
+        double sum = 0.0;
+        std::size_t observed = 0;
+        for (std::size_t w = 0; w < iters_.size(); ++w) {
+            const double time = compute_s_[w] + (include_overhead_ ? overhead_s_[w] : 0.0);
+            if (iters_[w] > 0 && time > 0.0) {
+                rates[w] = static_cast<double>(iters_[w]) / time;
+                sum += rates[w];
+                ++observed;
+            }
+        }
+        if (observed == 0) {
+            return;  // no data yet; keep current weights
+        }
+        const double mean = sum / static_cast<double>(observed);
+        for (std::size_t w = 0; w < rates.size(); ++w) {
+            weights_[w] = rates[w] > 0.0 ? rates[w] / mean : 1.0;
+        }
+        normalize(weights_);
+    }
+
+    bool per_chunk_;
+    bool include_overhead_;
+    std::vector<std::int64_t> iters_;
+    std::vector<double> compute_s_;
+    std::vector<double> overhead_s_;
+};
+
+std::unique_ptr<Scheduler> make_weighted_scheduler(Technique t, const LoopParams& p) {
+    switch (t) {
+        case Technique::WF:
+            return std::make_unique<WfScheduler>(t, p);
+        case Technique::AWFB:
+        case Technique::AWFC:
+        case Technique::AWFD:
+        case Technique::AWFE:
+            return std::make_unique<AwfScheduler>(t, p);
+        default:
+            return nullptr;
+    }
+}
+
+}  // namespace hdls::dls::detail

@@ -1,0 +1,134 @@
+#pragma once
+/// \file mailbox.hpp
+/// Internal: per-rank message queue with MPI matching semantics.
+///
+/// Sends are *eager*: the payload is copied into the destination mailbox
+/// and the send completes immediately (MPI's buffered/eager protocol).
+/// Receives scan the queue front-to-back for the first envelope matching
+/// (comm, source, tag, lane), which yields MPI's non-overtaking guarantee:
+/// two messages from the same sender with the same tag are received in
+/// send order.
+///
+/// Not part of the public API.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "minimpi/types.hpp"
+
+namespace minimpi::detail {
+
+/// A message in flight. `collective` separates the runtime-internal
+/// collective lane from user point-to-point traffic; `cseq` disambiguates
+/// successive collectives on the same communicator.
+struct Envelope {
+    std::uint64_t comm_id = 0;
+    int src = 0;  ///< comm rank of the sender
+    int tag = 0;
+    bool collective = false;
+    std::uint64_t cseq = 0;
+    std::vector<std::byte> payload;
+};
+
+/// Matching criteria for a receive/probe.
+struct MatchSpec {
+    std::uint64_t comm_id = 0;
+    int src = kAnySource;
+    int tag = kAnyTag;
+    bool collective = false;
+    std::uint64_t cseq = 0;
+
+    [[nodiscard]] bool matches(const Envelope& e) const noexcept {
+        if (e.comm_id != comm_id || e.collective != collective) {
+            return false;
+        }
+        if (collective && e.cseq != cseq) {
+            return false;
+        }
+        if (src != kAnySource && e.src != src) {
+            return false;
+        }
+        if (tag != kAnyTag && e.tag != tag) {
+            return false;
+        }
+        return true;
+    }
+};
+
+/// One mailbox per world rank; all communicators share it (envelopes carry
+/// the communicator id).
+class Mailbox {
+public:
+    void push(Envelope e) {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            queue_.push_back(std::move(e));
+        }
+        cv_.notify_all();
+    }
+
+    /// Blocking matched pop. Polls the abort flag so a failing rank
+    /// elsewhere unblocks this one instead of deadlocking the process.
+    Envelope match(const MatchSpec& spec, const std::atomic<bool>& abort) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            if (auto e = take_locked(spec)) {
+                return std::move(*e);
+            }
+            if (abort.load(std::memory_order_acquire)) {
+                throw Error(ErrorCode::Aborted, "minimpi: runtime aborting (peer rank failed)");
+            }
+            cv_.wait_for(lock, std::chrono::milliseconds(50));
+        }
+    }
+
+    /// Non-blocking matched pop.
+    std::optional<Envelope> try_match(const MatchSpec& spec) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return take_locked(spec);
+    }
+
+    /// Non-destructive probe: status of the first matching envelope.
+    std::optional<Status> peek(const MatchSpec& spec) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        for (const Envelope& e : queue_) {
+            if (spec.matches(e)) {
+                return Status{e.src, e.tag, e.payload.size()};
+            }
+        }
+        return std::nullopt;
+    }
+
+    /// Wakes blocked receivers so they can observe the abort flag.
+    void interrupt() { cv_.notify_all(); }
+
+    /// Number of queued envelopes (tests / leak detection).
+    [[nodiscard]] std::size_t pending() {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return queue_.size();
+    }
+
+private:
+    std::optional<Envelope> take_locked(const MatchSpec& spec) {
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            if (spec.matches(*it)) {
+                Envelope e = std::move(*it);
+                queue_.erase(it);
+                return e;
+            }
+        }
+        return std::nullopt;
+    }
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<Envelope> queue_;
+};
+
+}  // namespace minimpi::detail

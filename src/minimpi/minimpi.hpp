@@ -1,0 +1,18 @@
+#pragma once
+/// \file minimpi.hpp
+/// Umbrella header for the thread-backed MPI-3-like runtime.
+///
+/// Quick tour:
+///   minimpi::Runtime::run(32, {.ranks_per_node = 16}, [](minimpi::Context& ctx) {
+///       auto world = ctx.world();                       // MPI_COMM_WORLD
+///       auto node  = world.split_type(minimpi::SplitType::Shared, world.rank());
+///       auto win   = minimpi::Window::allocate_shared(node, 2 * sizeof(std::int64_t));
+///       auto step  = win.fetch_and_op<std::int64_t>(1, 0, 0, minimpi::AccumulateOp::Sum);
+///       ...
+///   });
+
+#include "minimpi/comm.hpp"     // IWYU pragma: export
+#include "minimpi/runtime.hpp"  // IWYU pragma: export
+#include "minimpi/topology.hpp" // IWYU pragma: export
+#include "minimpi/types.hpp"    // IWYU pragma: export
+#include "minimpi/window.hpp"   // IWYU pragma: export

@@ -1,0 +1,815 @@
+/// \file mpi_compat.cpp
+/// The MPI C-API shim: per-rank-thread handle tables over minimpi objects,
+/// exception-to-error-code translation and datatype dispatch.
+
+#include "minimpi/mpi_compat.hpp"
+
+#include <cstring>
+#include <map>
+#include <optional>
+
+#include "minimpi/minimpi.hpp"
+
+namespace minimpi::compat {
+
+namespace {
+
+/// Per-rank-thread state: handle tables live in TLS, exactly like handles
+/// in a real MPI process.
+struct CompatState {
+    std::map<MPI_Comm, Comm> comms;
+    std::map<MPI_Win, std::pair<Window, int>> windows;  // window + disp_unit
+    std::map<MPI_Request, Request> requests;
+    MPI_Comm next_comm = MPI_COMM_WORLD + 1;
+    MPI_Win next_win = 1;
+    MPI_Request next_request = 1;
+};
+
+thread_local CompatState* tls_state = nullptr;
+
+[[nodiscard]] std::size_t type_size(MPI_Datatype t) {
+    switch (t) {
+        case MPI_BYTE:
+        case MPI_CHAR:
+            return 1;
+        case MPI_INT:
+            return sizeof(int);
+        case MPI_LONG:
+            return sizeof(long);
+        case MPI_LONG_LONG:
+            return sizeof(long long);
+        case MPI_INT64_T:
+            return sizeof(std::int64_t);
+        case MPI_UINT64_T:
+            return sizeof(std::uint64_t);
+        case MPI_FLOAT:
+            return sizeof(float);
+        case MPI_DOUBLE:
+            return sizeof(double);
+    }
+    return 0;
+}
+
+[[nodiscard]] int error_code(const Error& e) noexcept {
+    switch (e.code()) {
+        case ErrorCode::InvalidRank:
+            return MPI_ERR_RANK;
+        case ErrorCode::InvalidTag:
+            return MPI_ERR_TAG;
+        case ErrorCode::InvalidArgument:
+            return MPI_ERR_ARG;
+        case ErrorCode::Truncate:
+            return MPI_ERR_TRUNCATE;
+        case ErrorCode::WindowUsage:
+            return MPI_ERR_WIN;
+        case ErrorCode::Aborted:
+        case ErrorCode::Internal:
+            return MPI_ERR_OTHER;
+    }
+    return MPI_ERR_OTHER;
+}
+
+/// Runs `body` translating minimpi exceptions into MPI error codes.
+/// Aborted errors are rethrown so the whole team still unwinds cleanly.
+template <typename Fn>
+int guarded(Fn&& body) {
+    if (tls_state == nullptr) {
+        return MPI_ERR_OTHER;  // outside compat::run
+    }
+    try {
+        return body();
+    } catch (const Error& e) {
+        if (e.code() == ErrorCode::Aborted) {
+            throw;
+        }
+        return error_code(e);
+    } catch (const std::exception&) {
+        return MPI_ERR_OTHER;
+    }
+}
+
+[[nodiscard]] Comm* find_comm(MPI_Comm handle) {
+    const auto it = tls_state->comms.find(handle);
+    return it != tls_state->comms.end() ? &it->second : nullptr;
+}
+
+[[nodiscard]] std::pair<Window, int>* find_win(MPI_Win handle) {
+    const auto it = tls_state->windows.find(handle);
+    return it != tls_state->windows.end() ? &it->second : nullptr;
+}
+
+void fill_status(MPI_Status* status, const Status& s) {
+    if (status != MPI_STATUS_IGNORE) {
+        status->MPI_SOURCE = s.source;
+        status->MPI_TAG = s.tag;
+        status->MPI_ERROR = MPI_SUCCESS;
+        status->internal_bytes = s.bytes;
+    }
+}
+
+[[nodiscard]] std::optional<ReduceOp> to_reduce_op(MPI_Op op) {
+    switch (op) {
+        case MPI_SUM:
+            return ReduceOp::Sum;
+        case MPI_PROD:
+            return ReduceOp::Prod;
+        case MPI_MIN:
+            return ReduceOp::Min;
+        case MPI_MAX:
+            return ReduceOp::Max;
+        default:
+            return std::nullopt;
+    }
+}
+
+[[nodiscard]] std::optional<AccumulateOp> to_accumulate_op(MPI_Op op) {
+    switch (op) {
+        case MPI_SUM:
+            return AccumulateOp::Sum;
+        case MPI_REPLACE:
+            return AccumulateOp::Replace;
+        case MPI_MIN:
+            return AccumulateOp::Min;
+        case MPI_MAX:
+            return AccumulateOp::Max;
+        case MPI_NO_OP:
+            return AccumulateOp::NoOp;
+        default:
+            return std::nullopt;
+    }
+}
+
+/// Invokes `fn.template operator()<T>()` for the arithmetic type behind
+/// `datatype`; returns MPI_ERR_TYPE for non-arithmetic datatypes.
+template <typename Fn>
+int dispatch_arithmetic(MPI_Datatype datatype, Fn&& fn) {
+    switch (datatype) {
+        case MPI_INT:
+            return fn.template operator()<int>();
+        case MPI_LONG:
+            return fn.template operator()<long>();
+        case MPI_LONG_LONG:
+            return fn.template operator()<long long>();
+        case MPI_INT64_T:
+            return fn.template operator()<std::int64_t>();
+        case MPI_UINT64_T:
+            return fn.template operator()<std::uint64_t>();
+        case MPI_FLOAT:
+            return fn.template operator()<float>();
+        case MPI_DOUBLE:
+            return fn.template operator()<double>();
+        case MPI_BYTE:
+        case MPI_CHAR:
+            return MPI_ERR_TYPE;
+    }
+    return MPI_ERR_TYPE;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- lifetime --
+
+void run(int world_size, const Topology& topology, const std::function<void()>& fn) {
+    Runtime::run(world_size, topology, [&](Context& ctx) {
+        CompatState state;
+        state.comms.emplace(MPI_COMM_WORLD, ctx.world());
+        tls_state = &state;
+        try {
+            fn();
+        } catch (...) {
+            tls_state = nullptr;
+            throw;
+        }
+        tls_state = nullptr;
+    });
+}
+
+void run(int world_size, const std::function<void()>& fn) {
+    Topology topo;
+    topo.ranks_per_node = world_size;
+    run(world_size, topo, fn);
+}
+
+int MPI_Initialized(int* flag) {
+    if (flag == nullptr) {
+        return MPI_ERR_ARG;
+    }
+    *flag = tls_state != nullptr ? 1 : 0;
+    return MPI_SUCCESS;
+}
+
+// ------------------------------------------------------------------- p2p --
+
+int MPI_Comm_rank(MPI_Comm comm, int* rank) {
+    return guarded([&] {
+        const Comm* c = find_comm(comm);
+        if (c == nullptr || rank == nullptr) {
+            return MPI_ERR_COMM;
+        }
+        *rank = c->rank();
+        return MPI_SUCCESS;
+    });
+}
+
+int MPI_Comm_size(MPI_Comm comm, int* size) {
+    return guarded([&] {
+        const Comm* c = find_comm(comm);
+        if (c == nullptr || size == nullptr) {
+            return MPI_ERR_COMM;
+        }
+        *size = c->size();
+        return MPI_SUCCESS;
+    });
+}
+
+int MPI_Send(const void* buf, int count, MPI_Datatype datatype, int dest, int tag,
+             MPI_Comm comm) {
+    return guarded([&] {
+        const Comm* c = find_comm(comm);
+        if (c == nullptr) {
+            return MPI_ERR_COMM;
+        }
+        const std::size_t ts = type_size(datatype);
+        if (ts == 0 || count < 0) {
+            return MPI_ERR_TYPE;
+        }
+        c->send_bytes(buf, ts * static_cast<std::size_t>(count), dest, tag);
+        return MPI_SUCCESS;
+    });
+}
+
+int MPI_Recv(void* buf, int count, MPI_Datatype datatype, int source, int tag, MPI_Comm comm,
+             MPI_Status* status) {
+    return guarded([&] {
+        const Comm* c = find_comm(comm);
+        if (c == nullptr) {
+            return MPI_ERR_COMM;
+        }
+        const std::size_t ts = type_size(datatype);
+        if (ts == 0 || count < 0) {
+            return MPI_ERR_TYPE;
+        }
+        const Status s = c->recv_bytes(buf, ts * static_cast<std::size_t>(count), source, tag);
+        fill_status(status, s);
+        return MPI_SUCCESS;
+    });
+}
+
+int MPI_Isend(const void* buf, int count, MPI_Datatype datatype, int dest, int tag,
+              MPI_Comm comm, MPI_Request* request) {
+    return guarded([&] {
+        const Comm* c = find_comm(comm);
+        if (c == nullptr || request == nullptr) {
+            return MPI_ERR_COMM;
+        }
+        const std::size_t ts = type_size(datatype);
+        if (ts == 0 || count < 0) {
+            return MPI_ERR_TYPE;
+        }
+        // Eager semantics: Comm::isend sends and completes immediately.
+        Request r = c->isend(
+            std::span<const std::byte>(static_cast<const std::byte*>(buf),
+                                       ts * static_cast<std::size_t>(count)),
+            dest, tag);
+        const MPI_Request handle = tls_state->next_request++;
+        tls_state->requests.emplace(handle, std::move(r));
+        *request = handle;
+        return MPI_SUCCESS;
+    });
+}
+
+int MPI_Irecv(void* buf, int count, MPI_Datatype datatype, int source, int tag, MPI_Comm comm,
+              MPI_Request* request) {
+    return guarded([&] {
+        const Comm* c = find_comm(comm);
+        if (c == nullptr || request == nullptr) {
+            return MPI_ERR_COMM;
+        }
+        const std::size_t ts = type_size(datatype);
+        if (ts == 0 || count < 0) {
+            return MPI_ERR_TYPE;
+        }
+        Request r = c->irecv_bytes(buf, ts * static_cast<std::size_t>(count), source, tag);
+        const MPI_Request handle = tls_state->next_request++;
+        tls_state->requests.emplace(handle, std::move(r));
+        *request = handle;
+        return MPI_SUCCESS;
+    });
+}
+
+int MPI_Wait(MPI_Request* request, MPI_Status* status) {
+    return guarded([&] {
+        if (request == nullptr) {
+            return MPI_ERR_ARG;
+        }
+        if (*request == MPI_REQUEST_NULL) {
+            return MPI_SUCCESS;
+        }
+        const auto it = tls_state->requests.find(*request);
+        if (it == tls_state->requests.end()) {
+            return MPI_ERR_ARG;
+        }
+        it->second.wait();
+        fill_status(status, it->second.status());
+        tls_state->requests.erase(it);
+        *request = MPI_REQUEST_NULL;
+        return MPI_SUCCESS;
+    });
+}
+
+int MPI_Test(MPI_Request* request, int* flag, MPI_Status* status) {
+    return guarded([&] {
+        if (request == nullptr || flag == nullptr) {
+            return MPI_ERR_ARG;
+        }
+        if (*request == MPI_REQUEST_NULL) {
+            *flag = 1;
+            return MPI_SUCCESS;
+        }
+        const auto it = tls_state->requests.find(*request);
+        if (it == tls_state->requests.end()) {
+            return MPI_ERR_ARG;
+        }
+        if (it->second.test()) {
+            *flag = 1;
+            fill_status(status, it->second.status());
+            tls_state->requests.erase(it);
+            *request = MPI_REQUEST_NULL;
+        } else {
+            *flag = 0;
+        }
+        return MPI_SUCCESS;
+    });
+}
+
+int MPI_Waitall(int count, MPI_Request* requests, MPI_Status* statuses) {
+    if (count < 0 || (count > 0 && requests == nullptr)) {
+        return MPI_ERR_ARG;
+    }
+    for (int i = 0; i < count; ++i) {
+        MPI_Status* status = statuses == MPI_STATUSES_IGNORE ? MPI_STATUS_IGNORE : &statuses[i];
+        const int rc = MPI_Wait(&requests[i], status);
+        if (rc != MPI_SUCCESS) {
+            return rc;
+        }
+    }
+    return MPI_SUCCESS;
+}
+
+int MPI_Probe(int source, int tag, MPI_Comm comm, MPI_Status* status) {
+    return guarded([&] {
+        const Comm* c = find_comm(comm);
+        if (c == nullptr) {
+            return MPI_ERR_COMM;
+        }
+        fill_status(status, c->probe(source, tag));
+        return MPI_SUCCESS;
+    });
+}
+
+int MPI_Iprobe(int source, int tag, MPI_Comm comm, int* flag, MPI_Status* status) {
+    return guarded([&] {
+        const Comm* c = find_comm(comm);
+        if (c == nullptr || flag == nullptr) {
+            return MPI_ERR_COMM;
+        }
+        const auto s = c->iprobe(source, tag);
+        *flag = s.has_value() ? 1 : 0;
+        if (s) {
+            fill_status(status, *s);
+        }
+        return MPI_SUCCESS;
+    });
+}
+
+int MPI_Get_count(const MPI_Status* status, MPI_Datatype datatype, int* count) {
+    if (status == nullptr || count == nullptr) {
+        return MPI_ERR_ARG;
+    }
+    const std::size_t ts = type_size(datatype);
+    if (ts == 0) {
+        return MPI_ERR_TYPE;
+    }
+    *count = static_cast<int>(status->internal_bytes / ts);
+    return MPI_SUCCESS;
+}
+
+int MPI_Sendrecv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, int dest,
+                 int sendtag, void* recvbuf, int recvcount, MPI_Datatype recvtype, int source,
+                 int recvtag, MPI_Comm comm, MPI_Status* status) {
+    // Eager sends cannot deadlock, so send-then-receive is safe.
+    const int rc = MPI_Send(sendbuf, sendcount, sendtype, dest, sendtag, comm);
+    if (rc != MPI_SUCCESS) {
+        return rc;
+    }
+    return MPI_Recv(recvbuf, recvcount, recvtype, source, recvtag, comm, status);
+}
+
+// ----------------------------------------------------------- collectives --
+
+int MPI_Barrier(MPI_Comm comm) {
+    return guarded([&] {
+        const Comm* c = find_comm(comm);
+        if (c == nullptr) {
+            return MPI_ERR_COMM;
+        }
+        c->barrier();
+        return MPI_SUCCESS;
+    });
+}
+
+int MPI_Bcast(void* buffer, int count, MPI_Datatype datatype, int root, MPI_Comm comm) {
+    return guarded([&] {
+        const Comm* c = find_comm(comm);
+        if (c == nullptr) {
+            return MPI_ERR_COMM;
+        }
+        const std::size_t ts = type_size(datatype);
+        if (ts == 0 || count < 0) {
+            return MPI_ERR_TYPE;
+        }
+        auto* bytes = static_cast<std::byte*>(buffer);
+        c->bcast(std::span<std::byte>(bytes, ts * static_cast<std::size_t>(count)), root);
+        return MPI_SUCCESS;
+    });
+}
+
+int MPI_Reduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype datatype, MPI_Op op,
+               int root, MPI_Comm comm) {
+    return guarded([&] {
+        const Comm* c = find_comm(comm);
+        if (c == nullptr) {
+            return MPI_ERR_COMM;
+        }
+        const auto rop = to_reduce_op(op);
+        if (!rop || count < 0) {
+            return MPI_ERR_OP;
+        }
+        return dispatch_arithmetic(datatype, [&]<typename T>() {
+            c->reduce(std::span<const T>(static_cast<const T*>(sendbuf),
+                                         static_cast<std::size_t>(count)),
+                      std::span<T>(static_cast<T*>(recvbuf), static_cast<std::size_t>(count)),
+                      *rop, root);
+            return MPI_SUCCESS;
+        });
+    });
+}
+
+int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype datatype,
+                  MPI_Op op, MPI_Comm comm) {
+    return guarded([&] {
+        const Comm* c = find_comm(comm);
+        if (c == nullptr) {
+            return MPI_ERR_COMM;
+        }
+        const auto rop = to_reduce_op(op);
+        if (!rop || count < 0) {
+            return MPI_ERR_OP;
+        }
+        return dispatch_arithmetic(datatype, [&]<typename T>() {
+            c->allreduce(std::span<const T>(static_cast<const T*>(sendbuf),
+                                            static_cast<std::size_t>(count)),
+                         std::span<T>(static_cast<T*>(recvbuf),
+                                      static_cast<std::size_t>(count)),
+                         *rop);
+            return MPI_SUCCESS;
+        });
+    });
+}
+
+int MPI_Gather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+               int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm) {
+    return guarded([&] {
+        const Comm* c = find_comm(comm);
+        if (c == nullptr) {
+            return MPI_ERR_COMM;
+        }
+        const std::size_t sts = type_size(sendtype);
+        const std::size_t rts = type_size(recvtype);
+        if (sts == 0 || rts == 0 || sendcount < 0 || recvcount < 0 ||
+            sts * static_cast<std::size_t>(sendcount) !=
+                rts * static_cast<std::size_t>(recvcount)) {
+            return MPI_ERR_TYPE;
+        }
+        const std::size_t bytes = sts * static_cast<std::size_t>(sendcount);
+        std::span<std::byte> out;
+        if (c->rank() == root) {
+            out = std::span<std::byte>(static_cast<std::byte*>(recvbuf),
+                                       bytes * static_cast<std::size_t>(c->size()));
+        }
+        c->gather(std::span<const std::byte>(static_cast<const std::byte*>(sendbuf), bytes),
+                  out, root);
+        return MPI_SUCCESS;
+    });
+}
+
+int MPI_Allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                  int recvcount, MPI_Datatype recvtype, MPI_Comm comm) {
+    return guarded([&] {
+        const Comm* c = find_comm(comm);
+        if (c == nullptr) {
+            return MPI_ERR_COMM;
+        }
+        const std::size_t sts = type_size(sendtype);
+        const std::size_t rts = type_size(recvtype);
+        if (sts == 0 || rts == 0 || sendcount < 0 || recvcount < 0 ||
+            sts * static_cast<std::size_t>(sendcount) !=
+                rts * static_cast<std::size_t>(recvcount)) {
+            return MPI_ERR_TYPE;
+        }
+        const std::size_t bytes = sts * static_cast<std::size_t>(sendcount);
+        c->allgather(
+            std::span<const std::byte>(static_cast<const std::byte*>(sendbuf), bytes),
+            std::span<std::byte>(static_cast<std::byte*>(recvbuf),
+                                 bytes * static_cast<std::size_t>(c->size())));
+        return MPI_SUCCESS;
+    });
+}
+
+int MPI_Scatter(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm) {
+    return guarded([&] {
+        const Comm* c = find_comm(comm);
+        if (c == nullptr) {
+            return MPI_ERR_COMM;
+        }
+        const std::size_t sts = type_size(sendtype);
+        const std::size_t rts = type_size(recvtype);
+        if (sts == 0 || rts == 0 || sendcount < 0 || recvcount < 0 ||
+            sts * static_cast<std::size_t>(sendcount) !=
+                rts * static_cast<std::size_t>(recvcount)) {
+            return MPI_ERR_TYPE;
+        }
+        const std::size_t bytes = rts * static_cast<std::size_t>(recvcount);
+        std::span<const std::byte> in;
+        if (c->rank() == root) {
+            in = std::span<const std::byte>(static_cast<const std::byte*>(sendbuf),
+                                            bytes * static_cast<std::size_t>(c->size()));
+        }
+        c->scatter(in, std::span<std::byte>(static_cast<std::byte*>(recvbuf), bytes), root);
+        return MPI_SUCCESS;
+    });
+}
+
+// -------------------------------------------------------- comm management --
+
+namespace {
+int register_comm(Comm&& comm, MPI_Comm* newcomm) {
+    if (!comm.valid()) {
+        *newcomm = MPI_COMM_NULL;
+        return MPI_SUCCESS;
+    }
+    const MPI_Comm handle = tls_state->next_comm++;
+    tls_state->comms.emplace(handle, std::move(comm));
+    *newcomm = handle;
+    return MPI_SUCCESS;
+}
+}  // namespace
+
+int MPI_Comm_dup(MPI_Comm comm, MPI_Comm* newcomm) {
+    return guarded([&] {
+        const Comm* c = find_comm(comm);
+        if (c == nullptr || newcomm == nullptr) {
+            return MPI_ERR_COMM;
+        }
+        return register_comm(c->dup(), newcomm);
+    });
+}
+
+int MPI_Comm_split(MPI_Comm comm, int color, int key, MPI_Comm* newcomm) {
+    return guarded([&] {
+        const Comm* c = find_comm(comm);
+        if (c == nullptr || newcomm == nullptr) {
+            return MPI_ERR_COMM;
+        }
+        return register_comm(c->split(color == MPI_UNDEFINED ? -1 : color, key), newcomm);
+    });
+}
+
+int MPI_Comm_split_type(MPI_Comm comm, int split_type, int key, MPI_Info /*info*/,
+                        MPI_Comm* newcomm) {
+    return guarded([&] {
+        const Comm* c = find_comm(comm);
+        if (c == nullptr || newcomm == nullptr) {
+            return MPI_ERR_COMM;
+        }
+        if (split_type != MPI_COMM_TYPE_SHARED) {
+            return MPI_ERR_ARG;
+        }
+        return register_comm(c->split_type(SplitType::Shared, key), newcomm);
+    });
+}
+
+int MPI_Comm_free(MPI_Comm* comm) {
+    return guarded([&] {
+        if (comm == nullptr || *comm == MPI_COMM_WORLD) {
+            return MPI_ERR_COMM;
+        }
+        tls_state->comms.erase(*comm);
+        *comm = MPI_COMM_NULL;
+        return MPI_SUCCESS;
+    });
+}
+
+// ------------------------------------------------------------------- RMA --
+
+int MPI_Win_allocate_shared(MPI_Aint size, int disp_unit, MPI_Info /*info*/, MPI_Comm comm,
+                            void* baseptr, MPI_Win* win) {
+    return guarded([&] {
+        const Comm* c = find_comm(comm);
+        if (c == nullptr || win == nullptr || baseptr == nullptr) {
+            return MPI_ERR_COMM;
+        }
+        if (size < 0 || disp_unit <= 0) {
+            return MPI_ERR_ARG;
+        }
+        Window w = Window::allocate_shared(*c, static_cast<std::size_t>(size));
+        *static_cast<void**>(baseptr) = w.local_span().data();
+        const MPI_Win handle = tls_state->next_win++;
+        tls_state->windows.emplace(handle, std::pair{std::move(w), disp_unit});
+        *win = handle;
+        return MPI_SUCCESS;
+    });
+}
+
+int MPI_Win_shared_query(MPI_Win win, int rank, MPI_Aint* size, int* disp_unit, void* baseptr) {
+    return guarded([&] {
+        auto* entry = find_win(win);
+        if (entry == nullptr) {
+            return MPI_ERR_WIN;
+        }
+        const auto [ptr, bytes] = entry->first.shared_query(rank);
+        if (size != nullptr) {
+            *size = static_cast<MPI_Aint>(bytes);
+        }
+        if (disp_unit != nullptr) {
+            *disp_unit = entry->second;
+        }
+        if (baseptr != nullptr) {
+            *static_cast<void**>(baseptr) = ptr;
+        }
+        return MPI_SUCCESS;
+    });
+}
+
+int MPI_Win_lock(int lock_type, int rank, int /*assert_arg*/, MPI_Win win) {
+    return guarded([&] {
+        auto* entry = find_win(win);
+        if (entry == nullptr) {
+            return MPI_ERR_WIN;
+        }
+        if (lock_type != MPI_LOCK_EXCLUSIVE && lock_type != MPI_LOCK_SHARED) {
+            return MPI_ERR_ARG;
+        }
+        entry->first.lock(
+            lock_type == MPI_LOCK_EXCLUSIVE ? LockType::Exclusive : LockType::Shared, rank);
+        return MPI_SUCCESS;
+    });
+}
+
+int MPI_Win_unlock(int rank, MPI_Win win) {
+    return guarded([&] {
+        auto* entry = find_win(win);
+        if (entry == nullptr) {
+            return MPI_ERR_WIN;
+        }
+        entry->first.unlock(rank);
+        return MPI_SUCCESS;
+    });
+}
+
+int MPI_Win_lock_all(int /*assert_arg*/, MPI_Win win) {
+    return guarded([&] {
+        auto* entry = find_win(win);
+        if (entry == nullptr) {
+            return MPI_ERR_WIN;
+        }
+        entry->first.lock_all();
+        return MPI_SUCCESS;
+    });
+}
+
+int MPI_Win_unlock_all(MPI_Win win) {
+    return guarded([&] {
+        auto* entry = find_win(win);
+        if (entry == nullptr) {
+            return MPI_ERR_WIN;
+        }
+        entry->first.unlock_all();
+        return MPI_SUCCESS;
+    });
+}
+
+int MPI_Fetch_and_op(const void* origin_addr, void* result_addr, MPI_Datatype datatype,
+                     int target_rank, MPI_Aint target_disp, MPI_Op op, MPI_Win win) {
+    return guarded([&] {
+        auto* entry = find_win(win);
+        if (entry == nullptr) {
+            return MPI_ERR_WIN;
+        }
+        const auto aop = to_accumulate_op(op);
+        if (!aop) {
+            return MPI_ERR_OP;
+        }
+        return dispatch_arithmetic(datatype, [&]<typename T>() {
+            const T operand =
+                origin_addr != nullptr ? *static_cast<const T*>(origin_addr) : T{};
+            const T previous = entry->first.fetch_and_op<T>(
+                operand, target_rank, static_cast<std::size_t>(target_disp), *aop);
+            if (result_addr != nullptr) {
+                *static_cast<T*>(result_addr) = previous;
+            }
+            return MPI_SUCCESS;
+        });
+    });
+}
+
+int MPI_Compare_and_swap(const void* origin_addr, const void* compare_addr, void* result_addr,
+                         MPI_Datatype datatype, int target_rank, MPI_Aint target_disp,
+                         MPI_Win win) {
+    return guarded([&] {
+        auto* entry = find_win(win);
+        if (entry == nullptr) {
+            return MPI_ERR_WIN;
+        }
+        if (origin_addr == nullptr || compare_addr == nullptr) {
+            return MPI_ERR_ARG;
+        }
+        switch (datatype) {
+            case MPI_INT: {
+                const int prev = entry->first.compare_and_swap<int>(
+                    *static_cast<const int*>(compare_addr),
+                    *static_cast<const int*>(origin_addr), target_rank,
+                    static_cast<std::size_t>(target_disp));
+                if (result_addr != nullptr) {
+                    *static_cast<int*>(result_addr) = prev;
+                }
+                return MPI_SUCCESS;
+            }
+            case MPI_LONG_LONG:
+            case MPI_INT64_T: {
+                const auto prev = entry->first.compare_and_swap<std::int64_t>(
+                    *static_cast<const std::int64_t*>(compare_addr),
+                    *static_cast<const std::int64_t*>(origin_addr), target_rank,
+                    static_cast<std::size_t>(target_disp));
+                if (result_addr != nullptr) {
+                    *static_cast<std::int64_t*>(result_addr) = prev;
+                }
+                return MPI_SUCCESS;
+            }
+            default:
+                return MPI_ERR_TYPE;
+        }
+    });
+}
+
+int MPI_Win_flush(int rank, MPI_Win win) {
+    return guarded([&] {
+        auto* entry = find_win(win);
+        if (entry == nullptr) {
+            return MPI_ERR_WIN;
+        }
+        entry->first.flush(rank);
+        return MPI_SUCCESS;
+    });
+}
+
+int MPI_Win_flush_all(MPI_Win win) {
+    return guarded([&] {
+        auto* entry = find_win(win);
+        if (entry == nullptr) {
+            return MPI_ERR_WIN;
+        }
+        entry->first.flush_all();
+        return MPI_SUCCESS;
+    });
+}
+
+int MPI_Win_sync(MPI_Win win) {
+    return guarded([&] {
+        auto* entry = find_win(win);
+        if (entry == nullptr) {
+            return MPI_ERR_WIN;
+        }
+        entry->first.sync();
+        return MPI_SUCCESS;
+    });
+}
+
+int MPI_Win_free(MPI_Win* win) {
+    return guarded([&] {
+        if (win == nullptr) {
+            return MPI_ERR_WIN;
+        }
+        auto* entry = find_win(*win);
+        if (entry == nullptr) {
+            return MPI_ERR_WIN;
+        }
+        entry->first.free();
+        tls_state->windows.erase(*win);
+        *win = MPI_WIN_NULL;
+        return MPI_SUCCESS;
+    });
+}
+
+}  // namespace minimpi::compat

@@ -1,0 +1,186 @@
+#pragma once
+/// \file mpi_compat.hpp
+/// C-style MPI compatibility layer over minimpi.
+///
+/// The paper's stated motivation for MPI+MPI includes preserving "the
+/// research efforts spent in developing DLS techniques using MPI". This
+/// header makes that concrete for this repository: code written against
+/// the classic MPI C API — MPI_Comm_rank, MPI_Send, MPI_Win_allocate_shared,
+/// MPI_Fetch_and_op, ... — compiles and runs unchanged on the thread-backed
+/// runtime, inside `minimpi::compat::run`:
+///
+///     minimpi::compat::run(32, minimpi::Topology{16}, [] {
+///         using namespace minimpi::compat;
+///         int rank = 0;
+///         MPI_Comm_rank(MPI_COMM_WORLD, &rank);
+///         MPI_Comm node_comm;
+///         MPI_Comm_split_type(MPI_COMM_WORLD, MPI_COMM_TYPE_SHARED, rank,
+///                             MPI_INFO_NULL, &node_comm);
+///         ...
+///     });
+///
+/// Everything lives in namespace minimpi::compat (no global-namespace
+/// pollution); a `using namespace minimpi::compat;` makes user code look
+/// exactly like MPI. Functions return MPI_SUCCESS / MPI_ERR_* codes like
+/// the real API; the underlying minimpi exceptions are translated.
+///
+/// Scope: the subset the paper's approach and typical DLS codes need —
+/// p2p (blocking + nonblocking), the common collectives, communicator
+/// management including the shared-memory split, and RMA windows including
+/// shared allocation, passive-target locks and atomics.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "minimpi/topology.hpp"
+
+namespace minimpi::compat {
+
+// --------------------------------------------------------------- handles --
+
+/// Opaque handles (rank-local, like real MPI handles).
+using MPI_Comm = int;
+using MPI_Win = int;
+using MPI_Request = int;
+using MPI_Info = int;
+using MPI_Aint = std::ptrdiff_t;
+
+inline constexpr MPI_Comm MPI_COMM_NULL = 0;
+inline constexpr MPI_Comm MPI_COMM_WORLD = 1;
+inline constexpr MPI_Win MPI_WIN_NULL = 0;
+inline constexpr MPI_Request MPI_REQUEST_NULL = 0;
+inline constexpr MPI_Info MPI_INFO_NULL = 0;
+
+// ------------------------------------------------------------- constants --
+
+inline constexpr int MPI_SUCCESS = 0;
+inline constexpr int MPI_ERR_COMM = 5;
+inline constexpr int MPI_ERR_TYPE = 3;
+inline constexpr int MPI_ERR_ARG = 12;
+inline constexpr int MPI_ERR_RANK = 6;
+inline constexpr int MPI_ERR_TAG = 4;
+inline constexpr int MPI_ERR_TRUNCATE = 15;
+inline constexpr int MPI_ERR_OP = 9;
+inline constexpr int MPI_ERR_WIN = 45;
+inline constexpr int MPI_ERR_OTHER = 16;
+
+inline constexpr int MPI_ANY_SOURCE = -1;
+inline constexpr int MPI_ANY_TAG = -1;
+inline constexpr int MPI_UNDEFINED = -32766;
+inline constexpr int MPI_COMM_TYPE_SHARED = 1;
+inline constexpr int MPI_LOCK_EXCLUSIVE = 234;
+inline constexpr int MPI_LOCK_SHARED = 235;
+
+/// Datatypes (the arithmetic subset).
+enum MPI_Datatype : int {
+    MPI_BYTE = 1,
+    MPI_CHAR,
+    MPI_INT,
+    MPI_LONG,
+    MPI_LONG_LONG,
+    MPI_INT64_T,
+    MPI_UINT64_T,
+    MPI_FLOAT,
+    MPI_DOUBLE,
+};
+
+/// Reduction / accumulate operations.
+enum MPI_Op : int {
+    MPI_SUM = 1,
+    MPI_PROD,
+    MPI_MIN,
+    MPI_MAX,
+    MPI_REPLACE,
+    MPI_NO_OP,
+};
+
+/// Receive status (field names match MPI).
+struct MPI_Status {
+    int MPI_SOURCE = MPI_ANY_SOURCE;
+    int MPI_TAG = MPI_ANY_TAG;
+    int MPI_ERROR = MPI_SUCCESS;
+    std::size_t internal_bytes = 0;  ///< implementation detail (count basis)
+};
+
+/// Pass where a status is not needed (like the real MPI_STATUS_IGNORE).
+inline MPI_Status* const MPI_STATUS_IGNORE = nullptr;
+inline MPI_Status* const MPI_STATUSES_IGNORE = nullptr;
+
+// -------------------------------------------------------------- lifetime --
+
+/// Runs `fn` on `world_size` rank threads with the compat layer active
+/// (each rank thread gets its own handle tables and MPI_COMM_WORLD).
+/// This replaces `mpirun` + MPI_Init/MPI_Finalize.
+void run(int world_size, const Topology& topology, const std::function<void()>& fn);
+void run(int world_size, const std::function<void()>& fn);
+
+/// True between run() entry and exit on this thread (MPI_Initialized).
+int MPI_Initialized(int* flag);
+
+// ------------------------------------------------------------------- p2p --
+
+int MPI_Comm_rank(MPI_Comm comm, int* rank);
+int MPI_Comm_size(MPI_Comm comm, int* size);
+
+int MPI_Send(const void* buf, int count, MPI_Datatype datatype, int dest, int tag,
+             MPI_Comm comm);
+int MPI_Recv(void* buf, int count, MPI_Datatype datatype, int source, int tag, MPI_Comm comm,
+             MPI_Status* status);
+int MPI_Isend(const void* buf, int count, MPI_Datatype datatype, int dest, int tag,
+              MPI_Comm comm, MPI_Request* request);
+int MPI_Irecv(void* buf, int count, MPI_Datatype datatype, int source, int tag, MPI_Comm comm,
+              MPI_Request* request);
+int MPI_Wait(MPI_Request* request, MPI_Status* status);
+int MPI_Test(MPI_Request* request, int* flag, MPI_Status* status);
+int MPI_Waitall(int count, MPI_Request* requests, MPI_Status* statuses);
+int MPI_Probe(int source, int tag, MPI_Comm comm, MPI_Status* status);
+int MPI_Iprobe(int source, int tag, MPI_Comm comm, int* flag, MPI_Status* status);
+int MPI_Get_count(const MPI_Status* status, MPI_Datatype datatype, int* count);
+int MPI_Sendrecv(const void* sendbuf, int sendcount, MPI_Datatype sendtype, int dest,
+                 int sendtag, void* recvbuf, int recvcount, MPI_Datatype recvtype, int source,
+                 int recvtag, MPI_Comm comm, MPI_Status* status);
+
+// ----------------------------------------------------------- collectives --
+
+int MPI_Barrier(MPI_Comm comm);
+int MPI_Bcast(void* buffer, int count, MPI_Datatype datatype, int root, MPI_Comm comm);
+int MPI_Reduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype datatype, MPI_Op op,
+               int root, MPI_Comm comm);
+int MPI_Allreduce(const void* sendbuf, void* recvbuf, int count, MPI_Datatype datatype,
+                  MPI_Op op, MPI_Comm comm);
+int MPI_Gather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+               int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm);
+int MPI_Allgather(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                  int recvcount, MPI_Datatype recvtype, MPI_Comm comm);
+int MPI_Scatter(const void* sendbuf, int sendcount, MPI_Datatype sendtype, void* recvbuf,
+                int recvcount, MPI_Datatype recvtype, int root, MPI_Comm comm);
+
+// -------------------------------------------------------- comm management --
+
+int MPI_Comm_dup(MPI_Comm comm, MPI_Comm* newcomm);
+int MPI_Comm_split(MPI_Comm comm, int color, int key, MPI_Comm* newcomm);
+int MPI_Comm_split_type(MPI_Comm comm, int split_type, int key, MPI_Info info,
+                        MPI_Comm* newcomm);
+int MPI_Comm_free(MPI_Comm* comm);
+
+// ------------------------------------------------------------------- RMA --
+
+int MPI_Win_allocate_shared(MPI_Aint size, int disp_unit, MPI_Info info, MPI_Comm comm,
+                            void* baseptr, MPI_Win* win);
+int MPI_Win_shared_query(MPI_Win win, int rank, MPI_Aint* size, int* disp_unit, void* baseptr);
+int MPI_Win_lock(int lock_type, int rank, int assert_arg, MPI_Win win);
+int MPI_Win_unlock(int rank, MPI_Win win);
+int MPI_Win_lock_all(int assert_arg, MPI_Win win);
+int MPI_Win_unlock_all(MPI_Win win);
+int MPI_Fetch_and_op(const void* origin_addr, void* result_addr, MPI_Datatype datatype,
+                     int target_rank, MPI_Aint target_disp, MPI_Op op, MPI_Win win);
+int MPI_Compare_and_swap(const void* origin_addr, const void* compare_addr, void* result_addr,
+                         MPI_Datatype datatype, int target_rank, MPI_Aint target_disp,
+                         MPI_Win win);
+int MPI_Win_flush(int rank, MPI_Win win);
+int MPI_Win_flush_all(MPI_Win win);
+int MPI_Win_sync(MPI_Win win);
+int MPI_Win_free(MPI_Win* win);
+
+}  // namespace minimpi::compat

@@ -1,0 +1,33 @@
+#pragma once
+/// \file topology.hpp
+/// Simulated cluster topology: the assignment of minimpi ranks to compute
+/// nodes. On a real cluster this mapping is physical; here it drives
+/// Comm::split_type(SplitType::Shared) so the paper's node-local shared
+/// work queues form exactly as they would under mpirun with N ranks/node.
+
+#include <stdexcept>
+
+namespace minimpi {
+
+/// Block distribution of `world_size` ranks over nodes: ranks
+/// [k*ranks_per_node, (k+1)*ranks_per_node) live on node k — the common
+/// `mpirun --map-by node:PE=n` layout the paper uses (16 ranks per node).
+struct Topology {
+    int ranks_per_node = 1;
+
+    [[nodiscard]] int node_of(int world_rank) const noexcept {
+        return world_rank / ranks_per_node;
+    }
+
+    [[nodiscard]] int nodes_for(int world_size) const noexcept {
+        return (world_size + ranks_per_node - 1) / ranks_per_node;
+    }
+
+    void validate() const {
+        if (ranks_per_node < 1) {
+            throw std::invalid_argument("Topology: ranks_per_node must be >= 1");
+        }
+    }
+};
+
+}  // namespace minimpi

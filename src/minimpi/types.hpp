@@ -1,0 +1,90 @@
+#pragma once
+/// \file types.hpp
+/// Common types, constants and errors of the minimpi runtime.
+///
+/// minimpi is a *thread-backed* implementation of the MPI-3 subset the
+/// paper's MPI+MPI approach relies on: two-sided point-to-point messaging,
+/// collectives, communicator splitting (including the shared-memory split
+/// of MPI_Comm_split_type) and passive-target one-sided windows including
+/// MPI_Win_allocate_shared, MPI_Fetch_and_op and MPI_Compare_and_swap.
+/// Ranks are threads inside one process; a Topology assigns ranks to
+/// simulated "compute nodes" so that node-level splitting behaves exactly
+/// like MPI_COMM_TYPE_SHARED on a real cluster.
+///
+/// The public API mirrors MPI *semantics* (matching rules, eager buffered
+/// sends, exclusive/shared passive-target locks, element-wise atomicity of
+/// accumulate operations) with idiomatic C++ surface (RAII, spans, enums,
+/// exceptions instead of error codes).
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+namespace minimpi {
+
+/// Wildcard for Comm::recv / probe source matching (MPI_ANY_SOURCE).
+inline constexpr int kAnySource = -1;
+/// Wildcard for Comm::recv / probe tag matching (MPI_ANY_TAG).
+inline constexpr int kAnyTag = -1;
+
+/// Error categories (loosely mirrors the MPI error classes we can hit).
+enum class ErrorCode {
+    InvalidRank,
+    InvalidTag,
+    InvalidArgument,
+    Truncate,       ///< receive buffer smaller than the matched message
+    WindowUsage,    ///< bad window rank/offset/alignment
+    Aborted,        ///< another rank terminated with an exception
+    Internal,
+};
+
+/// Exception thrown by all minimpi operations on failure.
+class Error : public std::runtime_error {
+public:
+    Error(ErrorCode code, const std::string& what) : std::runtime_error(what), code_(code) {}
+    [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+private:
+    ErrorCode code_;
+};
+
+/// Completion information of a receive (subset of MPI_Status).
+struct Status {
+    int source = kAnySource;  ///< comm rank of the sender
+    int tag = kAnyTag;
+    std::size_t bytes = 0;  ///< payload size in bytes
+
+    /// Element count, MPI_Get_count style.
+    template <typename T>
+    [[nodiscard]] std::size_t count() const noexcept {
+        return bytes / sizeof(T);
+    }
+};
+
+/// Comm::split_type selector (subset of MPI_COMM_TYPE_*).
+enum class SplitType {
+    Shared,  ///< ranks that share a simulated compute node (MPI_COMM_TYPE_SHARED)
+};
+
+/// Passive-target lock type (MPI_LOCK_EXCLUSIVE / MPI_LOCK_SHARED).
+enum class LockType { Exclusive, Shared };
+
+/// Element-wise atomic op for Window::fetch_and_op (subset of MPI_Op).
+enum class AccumulateOp {
+    Sum,      ///< MPI_SUM
+    Replace,  ///< MPI_REPLACE
+    Min,      ///< MPI_MIN
+    Max,      ///< MPI_MAX
+    NoOp,     ///< MPI_NO_OP — atomic read
+};
+
+/// Reduction operators for the collective reduce/allreduce.
+enum class ReduceOp { Sum, Prod, Min, Max };
+
+/// Only trivially copyable types travel through messages and windows.
+template <typename T>
+concept Pod = std::is_trivially_copyable_v<T>;
+
+}  // namespace minimpi

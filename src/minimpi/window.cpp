@@ -1,0 +1,165 @@
+/// \file window.cpp
+/// Window creation, attachment and passive-target lock management.
+
+#include "minimpi/window.hpp"
+
+namespace minimpi {
+
+namespace {
+constexpr std::size_t kSegmentAlign = 64;  // cache-line align each rank's segment
+
+[[nodiscard]] std::size_t align_up(std::size_t v) noexcept {
+    return (v + kSegmentAlign - 1) / kSegmentAlign * kSegmentAlign;
+}
+}  // namespace
+
+Window Window::allocate_shared(const Comm& comm, std::size_t local_bytes) {
+    if (!comm.valid()) {
+        throw Error(ErrorCode::InvalidArgument, "minimpi: allocate_shared on invalid comm");
+    }
+    detail::RuntimeState* state = comm.state_;
+    const int p = comm.size();
+
+    // Everyone learns everyone's contribution and derives identical layout.
+    const auto mine = static_cast<std::uint64_t>(local_bytes);
+    std::vector<std::uint64_t> contributions(static_cast<std::size_t>(p));
+    comm.allgather(std::span<const std::uint64_t>(&mine, 1),
+                   std::span<std::uint64_t>(contributions));
+    std::vector<std::size_t> offsets(static_cast<std::size_t>(p));
+    std::vector<std::size_t> sizes(static_cast<std::size_t>(p));
+    std::size_t total = 0;
+    for (int r = 0; r < p; ++r) {
+        offsets[static_cast<std::size_t>(r)] = total;
+        sizes[static_cast<std::size_t>(r)] = contributions[static_cast<std::size_t>(r)];
+        total += align_up(contributions[static_cast<std::size_t>(r)]);
+    }
+
+    // Rank 0 creates and registers the backing store, then broadcasts the
+    // id; the bcast's happens-before edge guarantees peers find it.
+    std::uint64_t win_id = 0;
+    if (comm.rank() == 0) {
+        win_id = state->next_window_id.fetch_add(1, std::memory_order_relaxed);
+        auto impl = std::make_shared<detail::WindowImpl>(win_id, *comm.meta_, offsets, sizes,
+                                                         std::max<std::size_t>(total, 1));
+        const std::lock_guard<std::mutex> lock(state->window_mutex);
+        state->windows.emplace(win_id, std::move(impl));
+    }
+    comm.bcast(win_id, 0);
+
+    std::shared_ptr<detail::WindowImpl> impl;
+    {
+        const std::lock_guard<std::mutex> lock(state->window_mutex);
+        const auto it = state->windows.find(win_id);
+        if (it == state->windows.end()) {
+            throw Error(ErrorCode::Internal, "minimpi: window id not registered");
+        }
+        impl = it->second;
+    }
+    return Window(std::move(impl), comm);
+}
+
+Window Window::allocate(const Comm& comm, std::size_t local_bytes) {
+    return allocate_shared(comm, local_bytes);
+}
+
+void Window::require_valid() const {
+    if (!valid()) {
+        throw Error(ErrorCode::WindowUsage, "minimpi: operation on an invalid window");
+    }
+}
+
+void Window::check_target(int target_rank) const {
+    if (target_rank < 0 || target_rank >= size()) {
+        throw Error(ErrorCode::InvalidRank, "minimpi: window target rank out of range");
+    }
+}
+
+std::span<std::byte> Window::local_span() const {
+    require_valid();
+    return {impl_->segment(rank_), impl_->segment_size(rank_)};
+}
+
+std::pair<std::byte*, std::size_t> Window::shared_query(int target_rank) const {
+    require_valid();
+    check_target(target_rank);
+    return {impl_->segment(target_rank), impl_->segment_size(target_rank)};
+}
+
+void Window::lock(LockType type, int target_rank) const {
+    require_valid();
+    check_target(target_rank);
+    if (held_.contains(target_rank)) {
+        throw Error(ErrorCode::WindowUsage,
+                    "minimpi: nested lock on the same window target (epochs may not overlap)");
+    }
+    if (type == LockType::Exclusive) {
+        impl_->lock_of(target_rank).lock();
+    } else {
+        impl_->lock_of(target_rank).lock_shared();
+    }
+    held_.emplace(target_rank, type);
+}
+
+void Window::unlock(int target_rank) const {
+    require_valid();
+    check_target(target_rank);
+    const auto it = held_.find(target_rank);
+    if (it == held_.end()) {
+        throw Error(ErrorCode::WindowUsage, "minimpi: unlock without a matching lock");
+    }
+    if (it->second == LockType::Exclusive) {
+        impl_->lock_of(target_rank).unlock();
+    } else {
+        impl_->lock_of(target_rank).unlock_shared();
+    }
+    held_.erase(it);
+}
+
+void Window::lock_all() const {
+    require_valid();
+    for (int r = 0; r < size(); ++r) {
+        lock(LockType::Shared, r);
+    }
+}
+
+void Window::unlock_all() const {
+    require_valid();
+    for (int r = 0; r < size(); ++r) {
+        unlock(r);
+    }
+}
+
+void Window::flush(int target_rank) const {
+    require_valid();
+    check_target(target_rank);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+void Window::flush_all() const {
+    require_valid();
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+void Window::sync() const {
+    require_valid();
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+void Window::free() {
+    require_valid();
+    if (!held_.empty()) {
+        throw Error(ErrorCode::WindowUsage, "minimpi: freeing a window with open epochs");
+    }
+    const std::uint64_t id = impl_->id();
+    detail::RuntimeState* state = comm_.state_;
+    comm_.barrier();  // all ranks must be done with the window
+    if (comm_.rank() == 0) {
+        const std::lock_guard<std::mutex> lock(state->window_mutex);
+        state->windows.erase(id);
+    }
+    impl_.reset();
+    comm_ = Comm();
+    rank_ = -1;
+}
+
+}  // namespace minimpi

@@ -1,0 +1,259 @@
+#pragma once
+/// \file window.hpp
+/// One-sided (RMA) windows with MPI-3 passive-target semantics, including
+/// the shared-memory windows (MPI_Win_allocate_shared) at the heart of the
+/// paper's MPI+MPI approach.
+///
+/// Semantics preserved from MPI-3:
+///  * allocate_shared is collective over a communicator whose ranks share a
+///    node; each rank contributes a segment and can address every segment
+///    directly (shared_query).
+///  * lock/unlock open and close passive-target access epochs; Exclusive
+///    locks on the same target rank are mutually exclusive, Shared locks
+///    admit concurrent readers.
+///  * fetch_and_op / compare_and_swap are element-wise atomic with respect
+///    to every other accumulate access to the same location, regardless of
+///    locks — exactly the property the distributed chunk-calculation
+///    protocol relies on.
+///  * flush/sync order memory accesses (mapped to seq-cst fences here).
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <unordered_map>
+
+#include "minimpi/comm.hpp"
+
+namespace minimpi {
+
+namespace detail {
+
+/// Backing store and lock table of one window; shared by every attached
+/// rank's Window handle.
+class WindowImpl {
+public:
+    WindowImpl(std::uint64_t id, CommMeta meta, std::vector<std::size_t> offsets,
+               std::vector<std::size_t> sizes, std::size_t total_bytes)
+        : id_(id),
+          meta_(std::move(meta)),
+          offsets_(std::move(offsets)),
+          sizes_(std::move(sizes)),
+          buffer_((total_bytes + sizeof(std::uint64_t) - 1) / sizeof(std::uint64_t) + 1, 0),
+          locks_(std::make_unique<std::shared_mutex[]>(meta_.members.size())) {}
+
+    [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+    [[nodiscard]] int size() const noexcept { return static_cast<int>(meta_.members.size()); }
+    [[nodiscard]] std::byte* base() noexcept {
+        return reinterpret_cast<std::byte*>(buffer_.data());
+    }
+    [[nodiscard]] std::byte* segment(int rank) noexcept {
+        return base() + offsets_[static_cast<std::size_t>(rank)];
+    }
+    [[nodiscard]] std::size_t segment_size(int rank) const noexcept {
+        return sizes_[static_cast<std::size_t>(rank)];
+    }
+    [[nodiscard]] std::shared_mutex& lock_of(int rank) noexcept {
+        return locks_[static_cast<std::size_t>(rank)];
+    }
+    [[nodiscard]] const CommMeta& meta() const noexcept { return meta_; }
+
+private:
+    std::uint64_t id_;
+    CommMeta meta_;
+    std::vector<std::size_t> offsets_;
+    std::vector<std::size_t> sizes_;
+    std::vector<std::uint64_t> buffer_;  ///< 8-byte aligned backing store
+    std::unique_ptr<std::shared_mutex[]> locks_;
+};
+
+}  // namespace detail
+
+/// RMA window handle (value type; copies refer to the same window).
+class Window {
+public:
+    Window() = default;
+
+    /// Collective over `comm`: allocates `local_bytes` for the calling rank
+    /// inside one contiguous shared region (segments are 64-byte aligned,
+    /// matching the `alloc_shared_noncontig` layout real MPIs use).
+    [[nodiscard]] static Window allocate_shared(const Comm& comm, std::size_t local_bytes);
+
+    /// MPI_Win_allocate. Under the thread-backed runtime every window is
+    /// physically shared, so this is allocate_shared with the same
+    /// semantics for get/put/atomics; only direct load/store addressing of
+    /// remote segments is (by convention) reserved for shared windows.
+    [[nodiscard]] static Window allocate(const Comm& comm, std::size_t local_bytes);
+
+    [[nodiscard]] bool valid() const noexcept { return impl_ != nullptr; }
+    [[nodiscard]] int rank() const noexcept { return rank_; }
+    [[nodiscard]] int size() const noexcept { return impl_ ? impl_->size() : 0; }
+
+    /// This rank's segment.
+    [[nodiscard]] std::span<std::byte> local_span() const;
+
+    /// Address and size of any rank's segment (MPI_Win_shared_query).
+    [[nodiscard]] std::pair<std::byte*, std::size_t> shared_query(int target_rank) const;
+
+    /// Typed view of a target segment (shared windows are meant to be
+    /// addressed directly once queried).
+    template <Pod T>
+    [[nodiscard]] std::span<T> shared_span(int target_rank) const {
+        auto [ptr, bytes] = shared_query(target_rank);
+        return {reinterpret_cast<T*>(ptr), bytes / sizeof(T)};
+    }
+
+    // ------------------------------------------------ passive target ----
+
+    /// Opens an access epoch on `target_rank` (MPI_Win_lock). Exclusive
+    /// epochs are mutually exclusive per target; Shared epochs admit
+    /// concurrent holders.
+    void lock(LockType type, int target_rank) const;
+
+    /// Closes the epoch opened by lock() (MPI_Win_unlock). Throws if no
+    /// epoch is open on that target from this handle.
+    void unlock(int target_rank) const;
+
+    /// Shared lock on every rank (MPI_Win_lock_all / unlock_all).
+    void lock_all() const;
+    void unlock_all() const;
+
+    // ------------------------------------------------------ accumulate ----
+
+    /// Atomically applies `op` to the element at `elem_offset` (in units of
+    /// T) of `target_rank`'s segment and returns the *previous* value
+    /// (MPI_Fetch_and_op).
+    template <Pod T>
+    T fetch_and_op(T operand, int target_rank, std::size_t elem_offset, AccumulateOp op) const
+        requires std::is_arithmetic_v<T>
+    {
+        T* addr = checked_address<T>(target_rank, elem_offset);
+        std::atomic_ref<T> cell(*addr);
+        switch (op) {
+            case AccumulateOp::Sum:
+                if constexpr (std::is_integral_v<T>) {
+                    return cell.fetch_add(operand, std::memory_order_acq_rel);
+                } else {
+                    T old = cell.load(std::memory_order_acquire);
+                    while (!cell.compare_exchange_weak(old, static_cast<T>(old + operand),
+                                                       std::memory_order_acq_rel)) {
+                    }
+                    return old;
+                }
+            case AccumulateOp::Replace:
+                return cell.exchange(operand, std::memory_order_acq_rel);
+            case AccumulateOp::Min: {
+                T old = cell.load(std::memory_order_acquire);
+                while (operand < old && !cell.compare_exchange_weak(old, operand,
+                                                                    std::memory_order_acq_rel)) {
+                }
+                return old;
+            }
+            case AccumulateOp::Max: {
+                T old = cell.load(std::memory_order_acquire);
+                while (operand > old && !cell.compare_exchange_weak(old, operand,
+                                                                    std::memory_order_acq_rel)) {
+                }
+                return old;
+            }
+            case AccumulateOp::NoOp:
+                return cell.load(std::memory_order_acquire);
+        }
+        throw Error(ErrorCode::InvalidArgument, "minimpi: unknown AccumulateOp");
+    }
+
+    /// Atomic read (MPI_Fetch_and_op with MPI_NO_OP).
+    template <Pod T>
+    [[nodiscard]] T atomic_read(int target_rank, std::size_t elem_offset) const
+        requires std::is_arithmetic_v<T>
+    {
+        return fetch_and_op<T>(T{}, target_rank, elem_offset, AccumulateOp::NoOp);
+    }
+
+    /// Atomic write (MPI_Accumulate with MPI_REPLACE).
+    template <Pod T>
+    void atomic_write(T value, int target_rank, std::size_t elem_offset) const
+        requires std::is_arithmetic_v<T>
+    {
+        (void)fetch_and_op<T>(value, target_rank, elem_offset, AccumulateOp::Replace);
+    }
+
+    /// MPI_Compare_and_swap: atomically replaces the element with `desired`
+    /// iff it equals `expected`; returns the previous value.
+    template <Pod T>
+    T compare_and_swap(T expected, T desired, int target_rank, std::size_t elem_offset) const
+        requires std::is_integral_v<T>
+    {
+        T* addr = checked_address<T>(target_rank, elem_offset);
+        std::atomic_ref<T> cell(*addr);
+        T exp = expected;
+        cell.compare_exchange_strong(exp, desired, std::memory_order_acq_rel);
+        return exp;  // previous value whether or not the swap happened
+    }
+
+    // ------------------------------------------------------------ put/get --
+
+    /// Copies into the target segment. Not atomic: the caller must hold an
+    /// epoch (lock) covering concurrent writers, as in MPI.
+    template <Pod T>
+    void put(std::span<const T> values, int target_rank, std::size_t elem_offset) const {
+        T* addr = checked_address<T>(target_rank, elem_offset, values.size());
+        if (!values.empty()) {
+            std::memcpy(addr, values.data(), values.size_bytes());
+        }
+    }
+
+    template <Pod T>
+    void get(std::span<T> values, int target_rank, std::size_t elem_offset) const {
+        T* addr = checked_address<T>(target_rank, elem_offset, values.size());
+        if (!values.empty()) {
+            std::memcpy(values.data(), addr, values.size_bytes());
+        }
+    }
+
+    // ------------------------------------------------------ completion ----
+
+    /// Orders RMA accesses (MPI_Win_flush / MPI_Win_sync). Thread-backed
+    /// windows need only a memory fence.
+    void flush(int target_rank) const;
+    void flush_all() const;
+    void sync() const;
+
+    /// Collective teardown (MPI_Win_free). The handle becomes invalid.
+    void free();
+
+private:
+    Window(std::shared_ptr<detail::WindowImpl> impl, Comm comm)
+        : impl_(std::move(impl)), comm_(std::move(comm)), rank_(comm_.rank()) {}
+
+    void require_valid() const;
+    void check_target(int target_rank) const;
+
+    template <Pod T>
+    [[nodiscard]] T* checked_address(int target_rank, std::size_t elem_offset,
+                                     std::size_t elems = 1) const {
+        require_valid();
+        check_target(target_rank);
+        const std::size_t byte_off = elem_offset * sizeof(T);
+        const std::size_t need = byte_off + elems * sizeof(T);
+        if (need > impl_->segment_size(target_rank)) {
+            throw Error(ErrorCode::WindowUsage,
+                        "minimpi: window access past the end of the target segment");
+        }
+        std::byte* addr = impl_->segment(target_rank) + byte_off;
+        if (reinterpret_cast<std::uintptr_t>(addr) % alignof(T) != 0) {
+            throw Error(ErrorCode::WindowUsage, "minimpi: misaligned window access");
+        }
+        return reinterpret_cast<T*>(addr);
+    }
+
+    std::shared_ptr<detail::WindowImpl> impl_;
+    Comm comm_;
+    int rank_ = -1;
+    /// Open epochs held by this handle (target rank -> lock type); a plain
+    /// map is fine because a handle belongs to a single rank thread.
+    mutable std::unordered_map<int, LockType> held_;
+};
+
+}  // namespace minimpi

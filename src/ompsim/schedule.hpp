@@ -1,0 +1,59 @@
+#pragma once
+/// \file schedule.hpp
+/// Loop schedules of the OpenMP-like shim.
+///
+/// The shim ("ompsim") stands in for the OpenMP runtime in the paper's
+/// MPI+OpenMP baseline. It implements the three schedule kinds of the
+/// OpenMP 5 `schedule` clause with the semantics the paper's Table 1 maps
+/// onto DLS techniques:
+///
+///     STATIC -> schedule(static)        Static / StaticChunk
+///     SS     -> schedule(dynamic,1)     Dynamic with chunk 1
+///     GSS    -> schedule(guided,1)      Guided with chunk 1
+///
+/// plus, as the extension the paper cites from LaPeSD-libGOMP (Ciorba,
+/// Iwainsky & Buder, iWomp'18) and plans as future work, the TSS and FAC2
+/// schedules, and a `nowait` mode that skips the implicit end-of-loop
+/// barrier.
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "dls/technique.hpp"
+
+namespace hdls::ompsim {
+
+/// Schedule kinds for ThreadTeam::for_each / for_chunks.
+enum class Schedule {
+    Static,       ///< schedule(static): one contiguous block per thread
+    StaticChunk,  ///< schedule(static, k): round-robin k-sized chunks
+    Dynamic,      ///< schedule(dynamic, k): shared-counter self-scheduling
+    Guided,       ///< schedule(guided, k): chunk = max(ceil(remaining/P), k)
+    Tss,          ///< extension: trapezoid self-scheduling (LaPeSD-libGOMP)
+    Fac2,         ///< extension: practical factoring (LaPeSD-libGOMP)
+};
+
+/// Options of one worksharing construct (the `schedule(...)` [nowait] part).
+struct ForOptions {
+    Schedule schedule = Schedule::Static;
+    /// Chunk size parameter of the clause; 0 = kind-specific default
+    /// (static: block partition; dynamic/guided: 1).
+    std::int64_t chunk = 0;
+    /// Skip the implicit barrier at the end of the construct.
+    bool nowait = false;
+};
+
+[[nodiscard]] std::string_view schedule_name(Schedule s) noexcept;
+[[nodiscard]] std::optional<Schedule> schedule_from_string(std::string_view name) noexcept;
+
+/// Table 1 of the paper: the OpenMP schedule equivalent to a DLS technique,
+/// or std::nullopt for techniques the (Intel) OpenMP runtime cannot express
+/// (TSS, FAC2, ... — expressible here only through the extension kinds).
+[[nodiscard]] std::optional<ForOptions> openmp_equivalent(dls::Technique t) noexcept;
+
+/// The extended mapping including the LaPeSD-libGOMP-style schedules; used
+/// by the nowait/extension ablations.
+[[nodiscard]] std::optional<ForOptions> extended_equivalent(dls::Technique t) noexcept;
+
+}  // namespace hdls::ompsim

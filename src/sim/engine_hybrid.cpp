@@ -1,0 +1,235 @@
+/// \file engine_hybrid.cpp
+/// Node-level simulation engine for the MPI+OpenMP baseline.
+///
+/// Nodes interact only through the global work queue, so the event loop
+/// advances whole node "rounds": the node whose master is ready earliest
+/// fetches the next chunk (global accesses thus serialize in virtual-time
+/// order), then its thread team executes the chunk under the intra
+/// schedule, and the implicit end-of-worksharing barrier (paper Figure 2)
+/// synchronizes the team before the next fetch.
+
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "dls/chunk_formulas.hpp"
+#include "sim/engines.hpp"
+#include "sim/resources.hpp"
+
+namespace hdls::sim::detail {
+
+namespace {
+
+struct NodeRun {
+    std::vector<double> clock;  // per-thread virtual time
+};
+
+struct Event {
+    double time;
+    int node;
+    friend bool operator>(const Event& a, const Event& b) {
+        return a.time != b.time ? a.time > b.time : a.node > b.node;
+    }
+};
+
+}  // namespace
+
+SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& config,
+                                  const WorkloadTrace& trace) {
+    const CostModel& costs = cluster.costs;
+    const int team = cluster.workers_per_node;
+    const std::int64_t n = trace.iterations();
+
+    SimReport report;
+    report.nodes = cluster.nodes;
+    report.workers_per_node = team;
+    report.total_iterations = n;
+    report.workers.assign(static_cast<std::size_t>(cluster.total_workers()), SimWorker{});
+    for (int w = 0; w < cluster.total_workers(); ++w) {
+        report.workers[static_cast<std::size_t>(w)].node = w / team;
+        report.workers[static_cast<std::size_t>(w)].worker_in_node = w % team;
+    }
+    if (n == 0) {
+        return report;
+    }
+
+    dls::LoopParams inter_params;
+    inter_params.total_iterations = n;
+    inter_params.workers = cluster.nodes;
+    inter_params.min_chunk = config.min_chunk;
+
+    std::int64_t g_step = 0;
+    std::int64_t g_scheduled = 0;
+    bool g_exhausted = false;
+    FcfsResource g_server(costs.global_service_s());
+
+    const auto global_op = [&](double t) {
+        const double at_target = t + costs.rma_s() / 2.0;
+        return g_server.acquire(at_target) + costs.rma_s() / 2.0;
+    };
+
+    std::vector<NodeRun> nodes(static_cast<std::size_t>(cluster.nodes));
+    for (auto& nr : nodes) {
+        nr.clock.assign(static_cast<std::size_t>(team), 0.0);
+    }
+
+    const auto worker_of = [&](int node, int tid) -> SimWorker& {
+        return report.workers[static_cast<std::size_t>(node * team + tid)];
+    };
+
+    /// Team barrier at the end of a phase: everyone waits for the slowest,
+    /// then pays the barrier cost. The wait is the Figure-2 idle time.
+    const auto barrier = [&](int node) {
+        NodeRun& nr = nodes[static_cast<std::size_t>(node)];
+        double latest = 0.0;
+        for (const double c : nr.clock) {
+            latest = std::max(latest, c);
+        }
+        const double done = latest + costs.barrier_s(team);
+        for (int tid = 0; tid < team; ++tid) {
+            SimWorker& w = worker_of(node, tid);
+            w.idle += latest - nr.clock[static_cast<std::size_t>(tid)];
+            w.overhead += costs.barrier_s(team);
+            nr.clock[static_cast<std::size_t>(tid)] = done;
+        }
+        return done;
+    };
+
+    /// Executes one level-1 chunk on the node's team under the intra
+    /// schedule (no barrier here; the caller adds it).
+    const auto workshare = [&](int node, std::int64_t start, std::int64_t size) {
+        NodeRun& nr = nodes[static_cast<std::size_t>(node)];
+        if (config.intra == dls::Technique::Static) {
+            // schedule(static): one contiguous slice per thread, no shared
+            // counter, no dequeue cost.
+            const std::int64_t base = size / team;
+            const std::int64_t extra = size % team;
+            std::int64_t begin = start;
+            for (int tid = 0; tid < team; ++tid) {
+                const std::int64_t len = base + (tid < extra ? 1 : 0);
+                if (len > 0) {
+                    SimWorker& w = worker_of(node, tid);
+                    const double compute = trace.range_cost(begin, begin + len);
+                    w.busy += compute;
+                    w.overhead += costs.chunk_overhead_s();
+                    w.iterations += len;
+                    ++w.sub_chunks;
+                    nr.clock[static_cast<std::size_t>(tid)] +=
+                        costs.chunk_overhead_s() + compute;
+                    begin += len;
+                }
+            }
+            return;
+        }
+        // Self-scheduled kinds (dynamic/guided/tss/fac2 <-> SS/GSS/TSS/FAC2):
+        // a shared counter serializes dequeues; threads advance min-clock
+        // first, which is the order their requests would issue.
+        dls::LoopParams p;
+        p.total_iterations = size;
+        p.workers = team;
+        p.min_chunk = config.min_chunk;
+        FcfsResource counter(costs.omp_dequeue_s());
+        std::int64_t step = 0;
+        std::int64_t scheduled = 0;
+        std::vector<bool> done(static_cast<std::size_t>(team), false);
+        int remaining_threads = team;
+        while (remaining_threads > 0) {
+            int tid = -1;
+            double best = std::numeric_limits<double>::infinity();
+            for (int i = 0; i < team; ++i) {
+                if (!done[static_cast<std::size_t>(i)] &&
+                    nr.clock[static_cast<std::size_t>(i)] < best) {
+                    best = nr.clock[static_cast<std::size_t>(i)];
+                    tid = i;
+                }
+            }
+            SimWorker& w = worker_of(node, tid);
+            const double before = counter.busy_until();
+            const double completion = counter.acquire(best);
+            w.lock_wait += std::max(0.0, before - best);
+            w.overhead += completion - best;
+            const std::int64_t hint = dls::chunk_size_for_step(config.intra, p, step);
+            if (hint <= 0 || scheduled >= size) {
+                // Failed dequeue: the thread leaves the construct.
+                nr.clock[static_cast<std::size_t>(tid)] = completion;
+                done[static_cast<std::size_t>(tid)] = true;
+                --remaining_threads;
+                continue;
+            }
+            ++step;
+            const std::int64_t take = std::min(hint, size - scheduled);
+            const std::int64_t begin = start + scheduled;
+            scheduled += take;
+            const double compute = trace.range_cost(begin, begin + take);
+            w.busy += compute;
+            w.overhead += costs.chunk_overhead_s();
+            w.iterations += take;
+            ++w.sub_chunks;
+            nr.clock[static_cast<std::size_t>(tid)] =
+                completion + costs.chunk_overhead_s() + compute;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+    for (int node = 0; node < cluster.nodes; ++node) {
+        events.push({0.0, node});
+    }
+    int finished_nodes = 0;
+    while (finished_nodes < cluster.nodes) {
+        const Event ev = events.top();
+        events.pop();
+        NodeRun& nr = nodes[static_cast<std::size_t>(ev.node)];
+        SimWorker& master = worker_of(ev.node, 0);
+
+        // Master (thread 0) fetches the next chunk: MPI_THREAD_FUNNELED.
+        const double t0 = nr.clock[0];
+        std::optional<std::pair<std::int64_t, std::int64_t>> chunk;
+        if (!g_exhausted) {
+            const double t1 = global_op(t0);
+            const std::int64_t step = g_step++;
+            const std::int64_t hint = dls::chunk_size_for_step(config.inter, inter_params, step);
+            if (hint <= 0) {
+                g_exhausted = true;
+                master.overhead += t1 - t0;
+                nr.clock[0] = t1;
+            } else {
+                const double t2 = global_op(t1);
+                const std::int64_t start = g_scheduled;
+                g_scheduled += hint;
+                master.overhead += t2 - t0;
+                nr.clock[0] = t2;
+                if (start >= n) {
+                    g_exhausted = true;
+                } else {
+                    chunk = std::pair{start, std::min(hint, n - start)};
+                    ++master.global_refills;
+                }
+            }
+        }
+
+        // Publish barrier: the team learns the chunk bounds (and pays for
+        // the funneled fetch by idling).
+        const double published = barrier(ev.node);
+
+        if (!chunk) {
+            for (int tid = 0; tid < team; ++tid) {
+                worker_of(ev.node, tid).finish = published;
+            }
+            ++finished_nodes;
+            continue;
+        }
+
+        workshare(ev.node, chunk->first, chunk->second);
+        const double joined = barrier(ev.node);  // the implicit barrier
+        events.push({joined, ev.node});
+    }
+
+    double max_finish = 0.0;
+    for (const auto& w : report.workers) {
+        max_finish = std::max(max_finish, w.finish);
+    }
+    report.parallel_time = max_finish;
+    return report;
+}
+
+}  // namespace hdls::sim::detail

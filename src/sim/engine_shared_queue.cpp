@@ -1,0 +1,259 @@
+/// \file engine_shared_queue.cpp
+/// Worker-level simulation engine (MPI+MPI and OpenMP-nowait models).
+///
+/// Discrete-event scheme: every worker is a process; the event queue holds
+/// (ready-time, worker) pairs and always advances the globally earliest
+/// worker, so shared-state mutations happen in virtual-time order. Each
+/// event processes one *transaction*: a queue access, optionally followed
+/// by a global refill and the execution of the obtained sub-chunk.
+/// Serialization points (the node queue lock/counter, the global queue
+/// target) are modelled as resources whose busy-until times chain
+/// transactions in processing order.
+
+#include <queue>
+#include <vector>
+
+#include "dls/chunk_formulas.hpp"
+#include "sim/engines.hpp"
+#include "sim/resources.hpp"
+
+namespace hdls::sim::detail {
+
+namespace {
+
+struct ChunkState {
+    std::int64_t start = 0;
+    std::int64_t size = 0;
+    std::int64_t sub_step = 0;
+    std::int64_t sub_scheduled = 0;
+    double visible_at = 0.0;  ///< push completion; invisible to pops before
+};
+
+struct NodeState {
+    explicit NodeState(const CostModel& costs)
+        : lock(costs.lock_hold_s(), costs.lock_poll_s(), costs.lock_attempt_s()),
+          counter(costs.omp_dequeue_s()) {}
+
+    PollingLock lock;      // MPI_Win_lock model
+    FcfsResource counter;  // atomic-counter model
+    std::vector<ChunkState> chunks;
+    std::size_t head = 0;            ///< first chunk that may hold work
+    std::int64_t unallocated = 0;    ///< unassigned iterations in the queue
+};
+
+struct GlobalState {
+    explicit GlobalState(const CostModel& costs) : server(costs.global_service_s()) {}
+
+    std::int64_t step = 0;
+    std::int64_t scheduled = 0;
+    bool exhausted = false;
+    FcfsResource server;
+};
+
+struct QueueAccess {
+    double granted = 0.0;   ///< inspection time (queue state as of here)
+    double released = 0.0;  ///< worker may proceed from here
+    double wait = 0.0;      ///< contention wait
+};
+
+/// One RMA atomic on the global queue: half RTT out, serialized service at
+/// the target, half RTT back.
+[[nodiscard]] double global_op(GlobalState& global, const CostModel& costs, double t) {
+    const double at_target = t + costs.rma_s() / 2.0;
+    const double done_target = global.server.acquire(at_target);
+    return done_target + costs.rma_s() / 2.0;
+}
+
+struct Event {
+    double time;
+    int worker;
+    friend bool operator>(const Event& a, const Event& b) {
+        return a.time != b.time ? a.time > b.time : a.worker > b.worker;
+    }
+};
+
+}  // namespace
+
+SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& config,
+                                const WorkloadTrace& trace, bool polling_lock,
+                                bool any_rank_refills) {
+    const CostModel& costs = cluster.costs;
+    const int total_workers = cluster.total_workers();
+    const std::int64_t n = trace.iterations();
+
+    SimReport report;
+    report.nodes = cluster.nodes;
+    report.workers_per_node = cluster.workers_per_node;
+    report.total_iterations = n;
+    report.workers.assign(static_cast<std::size_t>(total_workers), SimWorker{});
+    for (int w = 0; w < total_workers; ++w) {
+        report.workers[static_cast<std::size_t>(w)].node = w / cluster.workers_per_node;
+        report.workers[static_cast<std::size_t>(w)].worker_in_node =
+            w % cluster.workers_per_node;
+    }
+    if (n == 0) {
+        return report;
+    }
+
+    dls::LoopParams inter_params;
+    inter_params.total_iterations = n;
+    inter_params.workers = cluster.nodes;
+    inter_params.min_chunk = config.min_chunk;
+
+    std::vector<NodeState> nodes(static_cast<std::size_t>(cluster.nodes), NodeState(costs));
+    GlobalState global(costs);
+
+    // Retry period of a worker that must wait for work to appear without a
+    // known wake-up time (nowait non-masters): the natural software poll.
+    const double poll_quantum = std::max(costs.lock_poll_s(), 1e-6);
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+    for (int w = 0; w < total_workers; ++w) {
+        events.push({0.0, w});
+    }
+
+    // Accesses the node queue and, if work is visible, allocates the next
+    // sub-chunk via the intra technique's step-indexed formula.
+    const auto access_queue = [&](NodeState& node, double t) -> QueueAccess {
+        if (polling_lock) {
+            const PollingLock::Grant g = node.lock.acquire(t);
+            return {g.acquired, g.released, g.wait};
+        }
+        const double before = node.counter.busy_until();
+        const double done = node.counter.acquire(t);
+        return {done, done, std::max(0.0, before - t)};
+    };
+
+    const auto pop_visible = [&](NodeState& node, double at)
+        -> std::optional<std::pair<std::int64_t, std::int64_t>> {
+        while (node.head < node.chunks.size() &&
+               node.chunks[node.head].sub_scheduled >= node.chunks[node.head].size) {
+            ++node.head;  // retire fully-allocated chunks
+        }
+        for (std::size_t i = node.head; i < node.chunks.size(); ++i) {
+            ChunkState& c = node.chunks[i];
+            if (c.sub_scheduled >= c.size || c.visible_at > at) {
+                continue;
+            }
+            dls::LoopParams p;
+            p.total_iterations = c.size;
+            p.workers = cluster.workers_per_node;
+            p.min_chunk = config.min_chunk;
+            const std::int64_t hint =
+                dls::chunk_size_for_step(config.intra, p, c.sub_step);
+            const std::int64_t take =
+                hint > 0 ? std::min(hint, c.size - c.sub_scheduled) : c.size - c.sub_scheduled;
+            const std::int64_t begin = c.start + c.sub_scheduled;
+            c.sub_scheduled += take;
+            ++c.sub_step;
+            node.unallocated -= take;
+            return std::pair{begin, begin + take};
+        }
+        return std::nullopt;
+    };
+
+    int finished = 0;
+    while (finished < total_workers) {
+        const Event ev = events.top();
+        events.pop();
+        SimWorker& w = report.workers[static_cast<std::size_t>(ev.worker)];
+        NodeState& node = nodes[static_cast<std::size_t>(w.node)];
+        const double t = ev.time;
+
+        // ---- stage 2: try to pop a sub-chunk from the node queue --------
+        const QueueAccess acc = access_queue(node, t);
+        w.lock_wait += acc.wait;
+        w.overhead += acc.released - t;
+        if (const auto sub = pop_visible(node, acc.granted)) {
+            const double compute = trace.range_cost(sub->first, sub->second);
+            w.busy += compute;
+            w.overhead += costs.chunk_overhead_s();
+            w.iterations += sub->second - sub->first;
+            ++w.sub_chunks;
+            events.push({acc.released + costs.chunk_overhead_s() + compute, ev.worker});
+            continue;
+        }
+
+        double now = acc.released;
+
+        // ---- stage 1: queue drained; refill from the global queue -------
+        const bool may_refill = any_rank_refills || w.worker_in_node == 0;
+        if (may_refill && !global.exhausted) {
+            const double t1 = global_op(global, costs, now);
+            const std::int64_t step = global.step++;
+            const std::int64_t hint =
+                dls::chunk_size_for_step(config.inter, inter_params, step);
+            if (hint <= 0) {
+                global.exhausted = true;
+                w.overhead += t1 - now;
+                now = t1;
+            } else {
+                const double t2 = global_op(global, costs, t1);
+                const std::int64_t start = global.scheduled;
+                global.scheduled += hint;
+                w.overhead += t2 - now;
+                now = t2;
+                if (start >= n) {
+                    global.exhausted = true;
+                } else {
+                    const std::int64_t size = std::min(hint, n - start);
+                    ++w.global_refills;
+                    // Push + pop own first sub-chunk in one queue access.
+                    const QueueAccess push = access_queue(node, now);
+                    w.lock_wait += push.wait;
+                    w.overhead += push.released - now;
+                    node.chunks.push_back({start, size, 0, 0, push.released});
+                    node.unallocated += size;
+                    const auto sub = pop_visible(node, push.released);
+                    // The fresh chunk is visible to us inside the epoch.
+                    const double compute =
+                        sub ? trace.range_cost(sub->first, sub->second) : 0.0;
+                    if (sub) {
+                        w.busy += compute;
+                        w.overhead += costs.chunk_overhead_s();
+                        w.iterations += sub->second - sub->first;
+                        ++w.sub_chunks;
+                    }
+                    events.push(
+                        {push.released + costs.chunk_overhead_s() + compute, ev.worker});
+                    continue;
+                }
+            }
+        }
+
+        // ---- wait for in-flight work, keep polling, or terminate --------
+        if (node.unallocated > 0) {
+            // Work exists but was not yet visible at our inspection time;
+            // wake when the earliest pending push completes.
+            double earliest = std::numeric_limits<double>::infinity();
+            for (std::size_t i = node.head; i < node.chunks.size(); ++i) {
+                const ChunkState& c = node.chunks[i];
+                if (c.sub_scheduled < c.size) {
+                    earliest = std::min(earliest, c.visible_at);
+                }
+            }
+            const double next = std::max(now, earliest);
+            w.idle += next - now;
+            events.push({next, ev.worker});
+            continue;
+        }
+        if (!global.exhausted) {
+            // Only reachable for nowait non-masters: the pool is empty and
+            // the master has not refilled yet — poll again later.
+            w.idle += poll_quantum;
+            events.push({now + poll_quantum, ev.worker});
+            continue;
+        }
+        w.finish = now;
+        ++finished;
+    }
+
+    double max_finish = 0.0;
+    for (const auto& w : report.workers) {
+        max_finish = std::max(max_finish, w.finish);
+    }
+    report.parallel_time = max_finish;
+    return report;
+}
+
+}  // namespace hdls::sim::detail

@@ -1,0 +1,68 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+#include <string>
+
+#include "sim/engines.hpp"
+
+namespace hdls::sim {
+
+std::string_view exec_model_name(ExecModel m) noexcept {
+    switch (m) {
+        case ExecModel::MpiMpi:
+            return "MPI+MPI";
+        case ExecModel::MpiOpenMp:
+            return "MPI+OpenMP";
+        case ExecModel::MpiOpenMpNowait:
+            return "MPI+OpenMP-nowait";
+    }
+    return "?";
+}
+
+std::optional<ExecModel> exec_model_from_string(std::string_view name) noexcept {
+    std::string lower(name);
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    if (lower == "mpi+mpi" || lower == "mpimpi") {
+        return ExecModel::MpiMpi;
+    }
+    if (lower == "mpi+openmp" || lower == "mpiopenmp") {
+        return ExecModel::MpiOpenMp;
+    }
+    if (lower == "mpi+openmp-nowait" || lower == "nowait") {
+        return ExecModel::MpiOpenMpNowait;
+    }
+    return std::nullopt;
+}
+
+SimReport simulate(ExecModel model, const ClusterSpec& cluster, const SimConfig& config,
+                   const WorkloadTrace& trace) {
+    cluster.validate();
+    if (config.min_chunk < 1) {
+        throw std::invalid_argument("simulate: min_chunk must be >= 1");
+    }
+    for (const dls::Technique t : {config.inter, config.intra}) {
+        if (!dls::supports_step_indexed(t)) {
+            throw std::invalid_argument(
+                std::string("simulate: technique ") + std::string(dls::technique_name(t)) +
+                " lacks a step-indexed form and cannot run under the distributed protocol");
+        }
+    }
+    switch (model) {
+        case ExecModel::MpiMpi:
+            return detail::simulate_shared_queue(cluster, config, trace,
+                                                 /*polling_lock=*/true,
+                                                 /*any_rank_refills=*/true);
+        case ExecModel::MpiOpenMpNowait:
+            return detail::simulate_shared_queue(cluster, config, trace,
+                                                 /*polling_lock=*/false,
+                                                 /*any_rank_refills=*/false);
+        case ExecModel::MpiOpenMp:
+            return detail::simulate_hybrid_barrier(cluster, config, trace);
+    }
+    throw std::invalid_argument("simulate: unknown execution model");
+}
+
+}  // namespace hdls::sim

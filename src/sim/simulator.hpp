@@ -1,0 +1,54 @@
+#pragma once
+/// \file simulator.hpp
+/// Entry point of the discrete-event cluster simulator.
+///
+/// The simulator executes the paper's two hierarchical execution models in
+/// virtual time over a per-iteration cost trace. It is deterministic: the
+/// same inputs always produce the same report, independent of host machine
+/// and thread count (everything runs on the calling thread).
+///
+/// Execution models:
+///  * MpiMpi — the paper's proposal: every worker is a rank; node-local
+///    shared queue guarded by a PollingLock (MPI_Win_lock); any rank
+///    refills from the global queue (distributed chunk calculation).
+///  * MpiOpenMp — the baseline: one master per node fetches chunks; a
+///    thread team executes each chunk under the intra schedule with an
+///    implicit barrier per chunk (Figure 2).
+///  * MpiOpenMpNowait — the paper's Section-6 future work: worksharing
+///    without the implicit barrier, modelled as a node-local chunk pool
+///    with cheap atomic dequeues; only the master thread may refill
+///    (MPI_THREAD_FUNNELED), unlike MPI+MPI's any-rank refill.
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "dls/technique.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/report.hpp"
+#include "sim/workload.hpp"
+
+namespace hdls::sim {
+
+enum class ExecModel {
+    MpiMpi,
+    MpiOpenMp,
+    MpiOpenMpNowait,
+};
+
+[[nodiscard]] std::string_view exec_model_name(ExecModel m) noexcept;
+[[nodiscard]] std::optional<ExecModel> exec_model_from_string(std::string_view name) noexcept;
+
+/// Scheduling combination "inter + intra" (paper notation X+Y).
+struct SimConfig {
+    dls::Technique inter = dls::Technique::GSS;
+    dls::Technique intra = dls::Technique::GSS;
+    std::int64_t min_chunk = 1;
+};
+
+/// Simulates one loop execution; throws std::invalid_argument for
+/// combinations without a step-indexed form (see dls::supports_step_indexed).
+[[nodiscard]] SimReport simulate(ExecModel model, const ClusterSpec& cluster,
+                                 const SimConfig& config, const WorkloadTrace& trace);
+
+}  // namespace hdls::sim

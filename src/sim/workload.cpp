@@ -1,0 +1,25 @@
+#include "sim/workload.hpp"
+
+#include <stdexcept>
+
+namespace hdls::sim {
+
+WorkloadTrace::WorkloadTrace(std::vector<double> costs) : costs_(std::move(costs)) {
+    prefix_.resize(costs_.size() + 1);
+    prefix_[0] = 0.0;
+    for (std::size_t i = 0; i < costs_.size(); ++i) {
+        if (costs_[i] < 0.0) {
+            throw std::invalid_argument("WorkloadTrace: negative iteration cost");
+        }
+        prefix_[i + 1] = prefix_[i] + costs_[i];
+    }
+}
+
+double WorkloadTrace::range_cost(std::int64_t begin, std::int64_t end) const {
+    if (begin < 0 || end < begin || end > iterations()) {
+        throw std::out_of_range("WorkloadTrace::range_cost");
+    }
+    return prefix_[static_cast<std::size_t>(end)] - prefix_[static_cast<std::size_t>(begin)];
+}
+
+}  // namespace hdls::sim

@@ -1,0 +1,49 @@
+#pragma once
+/// \file workload.hpp
+/// Workload traces: per-iteration virtual execution costs with O(1) range
+/// sums (the simulator charges a worker `range_cost(b, e)` for executing
+/// chunk [b, e)).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace hdls::sim {
+
+class WorkloadTrace {
+public:
+    WorkloadTrace() = default;
+
+    /// Takes ownership of per-iteration costs (seconds); all must be >= 0.
+    explicit WorkloadTrace(std::vector<double> costs);
+
+    [[nodiscard]] std::int64_t iterations() const noexcept {
+        return static_cast<std::int64_t>(costs_.size());
+    }
+
+    /// Total serial execution time.
+    [[nodiscard]] double total() const noexcept {
+        return prefix_.empty() ? 0.0 : prefix_.back();
+    }
+
+    /// Cost of iteration i.
+    [[nodiscard]] double cost(std::int64_t i) const {
+        return costs_.at(static_cast<std::size_t>(i));
+    }
+
+    /// Cost of executing [begin, end) (throws on a bad range).
+    [[nodiscard]] double range_cost(std::int64_t begin, std::int64_t end) const;
+
+    /// Descriptive statistics of the per-iteration costs.
+    [[nodiscard]] util::Summary stats() const { return util::summarize(costs_); }
+
+    [[nodiscard]] std::span<const double> costs() const noexcept { return costs_; }
+
+private:
+    std::vector<double> costs_;
+    std::vector<double> prefix_;  // prefix_[i] = sum of costs_[0..i)
+};
+
+}  // namespace hdls::sim

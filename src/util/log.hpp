@@ -1,0 +1,53 @@
+#pragma once
+/// \file log.hpp
+/// Tiny leveled logger. Off by default above Warn so tests and benches stay
+/// quiet; the simulator and examples raise verbosity via set_level().
+
+#include <sstream>
+#include <string>
+
+namespace hdls::util {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Sets the global minimum level that will be emitted.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits a message (thread-safe, single write to stderr).
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, Args&&... args) {
+    if (static_cast<int>(level) < static_cast<int>(log_level())) {
+        return;
+    }
+    std::ostringstream oss;
+    (oss << ... << args);
+    log_message(level, oss.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_trace(Args&&... args) {
+    detail::log_fmt(LogLevel::Trace, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_debug(Args&&... args) {
+    detail::log_fmt(LogLevel::Debug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+    detail::log_fmt(LogLevel::Info, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+    detail::log_fmt(LogLevel::Warn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+    detail::log_fmt(LogLevel::Error, std::forward<Args>(args)...);
+}
+
+}  // namespace hdls::util

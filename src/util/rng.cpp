@@ -1,0 +1,131 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace hdls::util {
+
+namespace {
+[[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) {
+        s = sm.next();
+    }
+    // A zero state would be absorbing; SplitMix64 cannot produce four zero
+    // outputs in a row, but guard anyway for robustness against crafted seeds.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+        s_[0] = 0x9e3779b97f4a7c15ULL;
+    }
+}
+
+Xoshiro256::result_type Xoshiro256::next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double Xoshiro256::uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t Xoshiro256::uniform_u64(std::uint64_t bound) noexcept {
+    if (bound == 0) {
+        return 0;
+    }
+    // Lemire's multiply-shift with rejection of the biased low range.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+        const std::uint64_t t = (0 - bound) % bound;
+        while (l < t) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+            l = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Xoshiro256::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    if (hi <= lo) {
+        return lo;
+    }
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1ULL;
+    return lo + static_cast<std::int64_t>(uniform_u64(span));
+}
+
+double Xoshiro256::normal() noexcept {
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    // Box–Muller; u1 is bounded away from 0 so std::log is finite.
+    double u1 = uniform01();
+    if (u1 < 1e-300) {
+        u1 = 1e-300;
+    }
+    const double u2 = uniform01();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_normal_ = r * std::sin(theta);
+    has_cached_normal_ = true;
+    return r * std::cos(theta);
+}
+
+double Xoshiro256::normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+}
+
+double Xoshiro256::exponential(double mean) noexcept {
+    double u = uniform01();
+    if (u < 1e-300) {
+        u = 1e-300;
+    }
+    return -mean * std::log(u);
+}
+
+double Xoshiro256::lognormal(double mu, double sigma) noexcept {
+    return std::exp(normal(mu, sigma));
+}
+
+void Xoshiro256::jump() noexcept {
+    static constexpr std::uint64_t kJump[] = {0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+                                              0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+    std::uint64_t s0 = 0;
+    std::uint64_t s1 = 0;
+    std::uint64_t s2 = 0;
+    std::uint64_t s3 = 0;
+    for (const std::uint64_t jump : kJump) {
+        for (int b = 0; b < 64; ++b) {
+            if ((jump & (1ULL << b)) != 0) {
+                s0 ^= s_[0];
+                s1 ^= s_[1];
+                s2 ^= s_[2];
+                s3 ^= s_[3];
+            }
+            (void)next();
+        }
+    }
+    s_[0] = s0;
+    s_[1] = s1;
+    s_[2] = s2;
+    s_[3] = s3;
+}
+
+}  // namespace hdls::util

@@ -1,0 +1,129 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace hdls::util {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+    if (header_.empty()) {
+        throw std::invalid_argument("TextTable: header must not be empty");
+    }
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    if (cells.size() != header_.size()) {
+        throw std::invalid_argument("TextTable: row arity mismatch");
+    }
+    rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os, Align align) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        width[c] = header_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            width[c] = std::max(width[c], row[c].size());
+        }
+    }
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c != 0) {
+                os << "  ";
+            }
+            const auto pad = width[c] - row[c].size();
+            if (align == Align::Right) {
+                os << std::string(pad, ' ') << row[c];
+            } else {
+                os << row[c] << std::string(pad, ' ');
+            }
+        }
+        os << '\n';
+    };
+    emit(header_);
+    std::size_t total = 0;
+    for (const auto w : width) {
+        total += w;
+    }
+    total += 2 * (width.size() - 1);
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) {
+        emit(row);
+    }
+}
+
+namespace {
+void csv_field(std::ostream& os, const std::string& f) {
+    if (f.find_first_of(",\"\n") != std::string::npos) {
+        os << '"';
+        for (const char ch : f) {
+            if (ch == '"') {
+                os << "\"\"";
+            } else {
+                os << ch;
+            }
+        }
+        os << '"';
+    } else {
+        os << f;
+    }
+}
+}  // namespace
+
+void TextTable::print_csv(std::ostream& os) const {
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c != 0) {
+                os << ',';
+            }
+            csv_field(os, row[c]);
+        }
+        os << '\n';
+    };
+    emit(header_);
+    for (const auto& row : rows_) {
+        emit(row);
+    }
+}
+
+std::string TextTable::to_string(Align align) const {
+    std::ostringstream oss;
+    print(oss, align);
+    return oss.str();
+}
+
+std::string format_double(double v, int digits) {
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(digits) << v;
+    std::string s = oss.str();
+    if (s.find('.') != std::string::npos) {
+        while (!s.empty() && s.back() == '0') {
+            s.pop_back();
+        }
+        if (!s.empty() && s.back() == '.') {
+            s.pop_back();
+        }
+    }
+    if (s == "-0") {
+        s = "0";
+    }
+    return s;
+}
+
+std::string format_seconds(double seconds) {
+    const double a = std::abs(seconds);
+    if (a < 1e-3) {
+        return format_double(seconds * 1e6, 3) + " us";
+    }
+    if (a < 1.0) {
+        return format_double(seconds * 1e3, 3) + " ms";
+    }
+    return format_double(seconds, 3) + " s";
+}
+
+}  // namespace hdls::util

@@ -1,0 +1,56 @@
+#pragma once
+/// \file table.hpp
+/// Aligned text tables and CSV emission for benchmark/report output.
+///
+/// Every bench binary prints its series both as a human-readable aligned
+/// table (paper-figure style) and, with --csv, as machine-readable CSV so
+/// results can be replotted.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hdls::util {
+
+/// Column alignment for text rendering.
+enum class Align { Left, Right };
+
+/// A simple row/column table builder.
+///
+/// Usage:
+///   TextTable t({"nodes", "MPI+OpenMP (s)", "MPI+MPI (s)"});
+///   t.add_row({"2", "61.5", "19.6"});
+///   t.print(std::cout);
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /// Appends a row; must have the same arity as the header.
+    void add_row(std::vector<std::string> cells);
+
+    /// Number of data rows currently held.
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+    [[nodiscard]] std::size_t columns() const noexcept { return header_.size(); }
+
+    /// Renders as an aligned text table with a header rule.
+    void print(std::ostream& os, Align align = Align::Right) const;
+
+    /// Renders as RFC-4180-ish CSV (fields with commas/quotes get quoted).
+    void print_csv(std::ostream& os) const;
+
+    /// Renders to a string (text form), mainly for tests.
+    [[nodiscard]] std::string to_string(Align align = Align::Right) const;
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimal places, trimming
+/// trailing zeros ("12.30" -> "12.3", "4.00" -> "4").
+[[nodiscard]] std::string format_double(double v, int digits = 3);
+
+/// Formats seconds adaptively: "950 us", "12.3 ms", "4.56 s".
+[[nodiscard]] std::string format_seconds(double seconds);
+
+}  // namespace hdls::util
