@@ -1,8 +1,11 @@
 /// \file bench_fig23_timeline_illustration.cpp
-/// Regenerates the behaviour illustrated by Figures 2 and 3: per-worker
-/// time decomposition on one 8-worker node. Under MPI+OpenMP every chunk
-/// ends in an implicit barrier (Figure 2's synchronization idle); under
-/// MPI+MPI the fastest worker refills the queue and nobody waits
+/// Regenerates the behaviour illustrated by Figures 2 and 3 from *recorded
+/// chunk-lifecycle events*: the simulator runs with tracing enabled, the
+/// per-worker decomposition is derived by trace::analyze() from the event
+/// stream (not from engine-side aggregates), and the timeline itself is
+/// rendered as an ASCII Gantt of the same events. Under MPI+OpenMP every
+/// chunk ends in an implicit barrier (Figure 2's synchronization idle);
+/// under MPI+MPI the fastest worker refills the queue and nobody waits
 /// (Figure 3), so t'_end < t_end.
 
 #include <algorithm>
@@ -11,15 +14,18 @@
 
 #include "apps/synthetic.hpp"
 #include "common/workloads.hpp"
+#include "trace/analysis.hpp"
+#include "trace/export.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
     using namespace hdls;
     util::ArgParser cli("bench_fig23",
-                        "Reproduces Figures 2/3: per-worker busy/idle decomposition of one "
-                        "node executing an imbalanced loop under both models");
+                        "Reproduces Figures 2/3: per-worker busy/idle decomposition and event "
+                        "timeline of one node executing an imbalanced loop under both models");
     bench::add_common_options(cli);
     cli.add_int("iterations", 4096, "loop size");
+    cli.add_int("gantt-width", 100, "columns of the ASCII timeline");
     try {
         if (!cli.parse(argc, argv)) {
             return 0;
@@ -42,37 +48,44 @@ int main(int argc, char** argv) {
     std::sort(costs.begin(), costs.end(), std::greater<>());
     std::rotate(costs.begin(),
                 costs.begin() + static_cast<std::ptrdiff_t>(costs.size() / 3), costs.end());
-    const sim::WorkloadTrace trace(std::move(costs));
+    const sim::WorkloadTrace workload(std::move(costs));
 
     sim::ClusterSpec cluster = bench::cluster_from_options(cli, 1);
     cluster.workers_per_node = 8;
     sim::SimConfig cfg;
     cfg.inter = dls::Technique::FAC2;
     cfg.intra = dls::Technique::Static;
+    cfg.trace = true;  // the figures below are derived from recorded events
 
     const bool csv = cli.get_flag("csv");
+    const int width = static_cast<int>(cli.get_int("gantt-width"));
     for (const sim::ExecModel model :
          {sim::ExecModel::MpiOpenMp, sim::ExecModel::MpiMpi}) {
-        const auto r = simulate(model, cluster, cfg, trace);
+        const auto r = simulate(model, cluster, cfg, workload);
+        const trace::TraceAnalysis analysis = trace::analyze(*r.trace);
         std::cout << "--- " << exec_model_name(model) << " (Figure "
-                  << (model == sim::ExecModel::MpiOpenMp ? 2 : 3) << ") ---\n";
+                  << (model == sim::ExecModel::MpiOpenMp ? 2 : 3) << ", from "
+                  << r.trace->events.size() << " recorded events) ---\n";
         util::TextTable table({"worker", "busy (ms)", "idle/sync (ms)", "overhead (ms)",
                                "finish (ms)", "iterations", "chunks"});
-        for (const auto& w : r.workers) {
-            table.add_row({std::to_string(w.worker_in_node),
-                           util::format_double(w.busy * 1e3, 2),
-                           util::format_double(w.idle * 1e3, 2),
-                           util::format_double(w.overhead * 1e3, 2),
+        for (const auto& w : analysis.workers) {
+            table.add_row({std::to_string(w.worker),
+                           util::format_double(w.compute * 1e3, 2),
+                           util::format_double(w.barrier_wait * 1e3, 2),
+                           util::format_double(w.sched_overhead * 1e3, 2),
                            util::format_double(w.finish * 1e3, 2),
-                           std::to_string(w.iterations), std::to_string(w.sub_chunks)});
+                           std::to_string(w.iterations), std::to_string(w.chunks)});
         }
         if (csv) {
             table.print_csv(std::cout);
         } else {
             table.print(std::cout);
+            trace::ascii_gantt(*r.trace, std::cout, width);
         }
-        std::cout << "loop end time: " << util::format_seconds(r.parallel_time)
-                  << "   total idle: " << util::format_seconds(r.total_idle()) << "\n\n";
+        std::cout << "loop end time: " << util::format_seconds(analysis.makespan)
+                  << "   total idle: " << util::format_seconds(analysis.total_barrier_wait)
+                  << "   imbalance: " << util::format_double(analysis.percent_imbalance, 2)
+                  << "%\n\n";
     }
     std::cout << "Expected: the MPI+MPI loop-end time (t'_end, Figure 3) is below the\n"
                  "MPI+OpenMP one (t_end, Figure 2), and its idle column is ~zero.\n";

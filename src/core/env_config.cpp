@@ -89,6 +89,8 @@ HierConfig schedule_from_env(const HierConfig& fallback) {
     if (const auto cfg = parse_schedule(value)) {
         HierConfig merged = *cfg;
         merged.allow_extended_openmp_schedules = fallback.allow_extended_openmp_schedules;
+        merged.trace = fallback.trace;
+        merged.trace_capacity = fallback.trace_capacity;
         return merged;
     }
     util::log_warn("HDLS_SCHEDULE='", value, "' is malformed; using ",
@@ -106,6 +108,23 @@ Approach approach_from_env(Approach fallback) {
     }
     util::log_warn("HDLS_APPROACH='", value, "' is malformed; using ",
                    approach_name(fallback));
+    return fallback;
+}
+
+bool trace_from_env(bool fallback) {
+    const char* value = std::getenv("HDLS_TRACE");
+    if (value == nullptr) {
+        return fallback;
+    }
+    const std::string s = normalized(value);
+    if (s == "1" || s == "ON" || s == "TRUE" || s == "YES") {
+        return true;
+    }
+    if (s == "0" || s == "OFF" || s == "FALSE" || s == "NO") {
+        return false;
+    }
+    util::log_warn("HDLS_TRACE='", value, "' is malformed; using ",
+                   fallback ? "on" : "off");
     return fallback;
 }
 

@@ -12,6 +12,7 @@
 /// The environment variables (the schedule(runtime) analogue):
 ///     HDLS_SCHEDULE  — combination string as above
 ///     HDLS_APPROACH  — approach string as above
+///     HDLS_TRACE     — "1"/"on"/"true" enables chunk-event tracing
 
 #include <optional>
 #include <string>
@@ -39,5 +40,9 @@ namespace hdls::core {
 
 /// Reads HDLS_APPROACH; same fallback contract.
 [[nodiscard]] Approach approach_from_env(Approach fallback = Approach::MpiMpi);
+
+/// Reads HDLS_TRACE ("1"/"on"/"true"/"yes" enable, "0"/"off"/"false"/"no"
+/// disable, case-insensitive); same fallback contract.
+[[nodiscard]] bool trace_from_env(bool fallback = false);
 
 }  // namespace hdls::core

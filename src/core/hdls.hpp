@@ -25,6 +25,10 @@
 #include "core/report.hpp"            // IWYU pragma: export
 #include "core/runner.hpp"            // IWYU pragma: export
 #include "core/types.hpp"             // IWYU pragma: export
+#include "trace/analysis.hpp"         // IWYU pragma: export
+#include "trace/export.hpp"           // IWYU pragma: export
+#include "trace/recorder.hpp"         // IWYU pragma: export
+#include "trace/trace.hpp"            // IWYU pragma: export
 
 namespace hdls {
 

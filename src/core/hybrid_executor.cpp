@@ -34,7 +34,7 @@ using Clock = std::chrono::steady_clock;
 
 std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx, int threads_per_node,
                                          std::int64_t n, const HierConfig& cfg,
-                                         const ChunkBody& body) {
+                                         const ChunkBody& body, trace::TraceSession* session) {
     if (ctx.topology().ranks_per_node != 1) {
         throw UnsupportedCombination(
             "run_hybrid_rank: the MPI+OpenMP model maps exactly one rank per node");
@@ -46,9 +46,14 @@ std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx, int threads_per_
     ompsim::ThreadTeam team(threads_per_node);
 
     std::vector<WorkerStats> stats(static_cast<std::size_t>(threads_per_node));
+    std::vector<trace::WorkerTracer> tracers(static_cast<std::size_t>(threads_per_node));
     for (int t = 0; t < threads_per_node; ++t) {
         stats[static_cast<std::size_t>(t)].node = ctx.node();
         stats[static_cast<std::size_t>(t)].worker_in_node = t;
+        if (session != nullptr) {
+            tracers[static_cast<std::size_t>(t)] =
+                session->tracer(ctx.rank() * threads_per_node + t, ctx.node());
+        }
     }
 
     world.barrier();  // common start line
@@ -59,30 +64,66 @@ std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx, int threads_per_
 
     team.parallel([&](int tid) {
         auto& mine = stats[static_cast<std::size_t>(tid)];
+        trace::WorkerTracer& tracer = tracers[static_cast<std::size_t>(tid)];
+        const bool tracing = tracer.enabled();
         for (;;) {
             if (tid == 0) {
                 // Funneled model: only the master thread talks to MPI.
+                const double acq_t0 = tracing ? tracer.now() : 0.0;
                 current = global.try_acquire();
+                if (tracing) {
+                    tracer.record(trace::EventKind::GlobalAcquire, acq_t0, tracer.now(),
+                                  current ? current->start : 0, current ? current->size : 0);
+                }
                 if (current) {
                     ++mine.global_refills;
                 }
             }
-            team.barrier();  // chunk bounds published to the team
+            // Chunk bounds published to the team; non-masters idle here
+            // while the master fetches (part of Figure 2's sync time).
+            const double publish_t0 = tracing ? tracer.now() : 0.0;
+            team.barrier();
+            if (tracing) {
+                tracer.record(trace::EventKind::BarrierWait, publish_t0, tracer.now());
+            }
             if (!current) {
                 break;
             }
             const auto chunk = *current;
             // #pragma omp for schedule(...) over the chunk — implicit
-            // barrier at the end (Figure 2's synchronization points).
+            // barrier at the end (Figure 2's synchronization points). The
+            // time between a thread's last sub-chunk and the construct's
+            // return is its barrier wait.
+            double last_busy = tracing ? tracer.now() : 0.0;
             team.for_chunks(chunk.start, chunk.start + chunk.size, schedule,
                             [&](std::int64_t b, std::int64_t e, int thread_id) {
                                 auto& ws = stats[static_cast<std::size_t>(thread_id)];
+                                auto& thread_tracer =
+                                    tracers[static_cast<std::size_t>(thread_id)];
+                                if (thread_tracer.enabled()) {
+                                    thread_tracer.instant(trace::EventKind::ChunkExecBegin,
+                                                          thread_tracer.now(), b, e);
+                                }
                                 const Clock::time_point b0 = Clock::now();
                                 body(b, e);
                                 ws.busy_seconds += seconds_since(b0);
                                 ws.iterations += e - b;
                                 ++ws.chunks;
+                                if (thread_tracer.enabled()) {
+                                    const double end = thread_tracer.now();
+                                    thread_tracer.instant(trace::EventKind::ChunkExecEnd, end,
+                                                          b, e);
+                                    if (thread_id == tid) {
+                                        last_busy = end;
+                                    }
+                                }
                             });
+            if (tracing) {
+                tracer.record(trace::EventKind::BarrierWait, last_busy, tracer.now());
+            }
+        }
+        if (tracing) {
+            tracer.instant(trace::EventKind::Terminate, tracer.now());
         }
         mine.finish_seconds = seconds_since(t0);
     });

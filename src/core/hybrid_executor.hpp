@@ -15,6 +15,7 @@
 #include "core/report.hpp"
 #include "core/types.hpp"
 #include "minimpi/minimpi.hpp"
+#include "trace/recorder.hpp"
 
 namespace hdls::core {
 
@@ -30,9 +31,12 @@ public:
 /// [0, n) with a team of `threads_per_node` threads. Collective over
 /// ctx.world() (which must contain one rank per node, i.e. topology
 /// ranks_per_node == 1). Returns one WorkerStats per thread of this node.
+/// When `session` is non-null every thread records its chunk-lifecycle
+/// events under global worker id rank * threads_per_node + tid.
 [[nodiscard]] std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx,
                                                        int threads_per_node, std::int64_t n,
                                                        const HierConfig& cfg,
-                                                       const ChunkBody& body);
+                                                       const ChunkBody& body,
+                                                       trace::TraceSession* session = nullptr);
 
 }  // namespace hdls::core

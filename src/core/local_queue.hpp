@@ -18,6 +18,7 @@
 /// terminate only when the global queue is exhausted, the local queue is
 /// drained *and* no refill is in flight.
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 
@@ -60,8 +61,11 @@ public:
 
     /// Stage 2 of the paper's protocol: grab a sub-chunk from the queue.
     /// Returns std::nullopt when no chunk currently holds unassigned work.
-    [[nodiscard]] std::optional<SubChunk> try_pop() {
-        window_.lock(minimpi::LockType::Exclusive, kHost);
+    /// When `lock_wait_s` is non-null it receives the seconds between the
+    /// lock request and its grant (the contention quantity the tracing
+    /// subsystem reports); timing is only taken when requested.
+    [[nodiscard]] std::optional<SubChunk> try_pop(double* lock_wait_s = nullptr) {
+        lock_timed(lock_wait_s);
         const auto sub = pop_locked();
         window_.unlock(kHost);
         return sub;
@@ -82,9 +86,14 @@ public:
 
     /// Stage 1+2 combined: append a fresh level-1 chunk and immediately pop
     /// this rank's first sub-chunk from it (single lock epoch), then
-    /// withdraw the in-flight announcement.
-    [[nodiscard]] std::optional<SubChunk> push_and_pop(std::int64_t start, std::int64_t size) {
-        window_.lock(minimpi::LockType::Exclusive, kHost);
+    /// withdraw the in-flight announcement. The announcement is released on
+    /// *every* exit path, including the capacity-exceeded throw — leaving
+    /// it raised would keep kInflight > 0 forever and spin every peer rank
+    /// in the termination protocol.
+    [[nodiscard]] std::optional<SubChunk> push_and_pop(std::int64_t start, std::int64_t size,
+                                                       double* lock_wait_s = nullptr) {
+        const RefillAnnouncementGuard release(*this);
+        lock_timed(lock_wait_s);
         auto mem = window_.shared_span<std::int64_t>(kHost);
         const std::int64_t head = mem[kHead];
         const std::int64_t tail = mem[kTail];
@@ -101,7 +110,6 @@ public:
         mem[kTail] = tail + 1;
         const auto sub = pop_locked();
         window_.unlock(kHost);
-        end_refill();
         return sub;
     }
 
@@ -136,6 +144,31 @@ public:
     }
 
 private:
+    /// Scope guard pairing begin_refill() with end_refill() across every
+    /// exit path of a refill completion (normal return and throw alike).
+    class RefillAnnouncementGuard {
+    public:
+        explicit RefillAnnouncementGuard(NodeWorkQueue& queue) noexcept : queue_(queue) {}
+        ~RefillAnnouncementGuard() { queue_.end_refill(); }
+        RefillAnnouncementGuard(const RefillAnnouncementGuard&) = delete;
+        RefillAnnouncementGuard& operator=(const RefillAnnouncementGuard&) = delete;
+
+    private:
+        NodeWorkQueue& queue_;
+    };
+
+    /// Exclusive lock on the host segment, optionally timing the grant.
+    void lock_timed(double* lock_wait_s) {
+        if (lock_wait_s == nullptr) {
+            window_.lock(minimpi::LockType::Exclusive, kHost);
+            return;
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        window_.lock(minimpi::LockType::Exclusive, kHost);
+        *lock_wait_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    }
+
     static constexpr int kHost = 0;  // node rank hosting the queue memory
     static constexpr std::size_t kHead = 0;
     static constexpr std::size_t kTail = 1;

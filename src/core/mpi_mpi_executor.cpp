@@ -17,7 +17,7 @@ using Clock = std::chrono::steady_clock;
 }  // namespace
 
 WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierConfig& cfg,
-                             const ChunkBody& body) {
+                             const ChunkBody& body, trace::WorkerTracer tracer) {
     const minimpi::Comm& world = ctx.world();
     // MPI_Comm_split_type(MPI_COMM_TYPE_SHARED): the ranks of my node.
     const minimpi::Comm node = world.split_type(minimpi::SplitType::Shared, world.rank());
@@ -29,39 +29,110 @@ WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierCo
     stats.node = ctx.node();
     stats.worker_in_node = node.rank();
 
+    const bool tracing = tracer.enabled();
+
     world.barrier();  // common start line
     const Clock::time_point t0 = Clock::now();
 
     const auto execute = [&](const NodeWorkQueue::SubChunk& sc) {
+        if (tracing) {
+            tracer.instant(trace::EventKind::ChunkExecBegin, tracer.now(), sc.begin, sc.end);
+        }
         const Clock::time_point b0 = Clock::now();
         body(sc.begin, sc.end);
         stats.busy_seconds += seconds_since(b0);
         stats.iterations += sc.end - sc.begin;
         ++stats.chunks;
+        if (tracing) {
+            tracer.instant(trace::EventKind::ChunkExecEnd, tracer.now(), sc.begin, sc.end);
+        }
+    };
+
+    // Termination-spin coalescing: while the global queue is exhausted but
+    // peers are mid-refill, the rank polls; recording every poll would
+    // flood the ring buffer, so the whole wait becomes one BarrierWait
+    // event — and the per-poll LocalPop/GlobalAcquire probes are muted.
+    // `end` is the start of the transaction that found work, so the wait
+    // span never overlaps the recorded LocalPop/GlobalAcquire epoch.
+    double wait_start = -1.0;
+    const auto close_wait = [&](double end) {
+        if (tracing && wait_start >= 0.0) {
+            tracer.record(trace::EventKind::BarrierWait, wait_start, end);
+            wait_start = -1.0;
+        }
     };
 
     for (;;) {
+        const bool record_probe = tracing && wait_start < 0.0;
         // Stage 2 first: the node queue may already hold sub-chunks.
-        if (const auto sub = local.try_pop()) {
+        double pop_t0 = 0.0;
+        double lock_wait = 0.0;
+        if (tracing) {
+            pop_t0 = tracer.now();
+        }
+        if (const auto sub = local.try_pop(tracing ? &lock_wait : nullptr)) {
+            if (tracing) {
+                close_wait(pop_t0);
+                tracer.record(trace::EventKind::LocalPop, pop_t0, tracer.now(), sub->begin,
+                              sub->end, lock_wait);
+            }
             execute(*sub);
             continue;
         }
+        if (record_probe) {
+            tracer.record(trace::EventKind::LocalPop, pop_t0, tracer.now(), -1, -1, lock_wait);
+        }
         // Queue drained: this rank happens to be the fastest — refill.
         local.begin_refill();
+        if (record_probe) {
+            tracer.instant(trace::EventKind::RefillBegin, tracer.now());
+        }
+        const double acq_t0 = tracing ? tracer.now() : 0.0;
         if (const auto chunk = global.try_acquire()) {
+            if (tracing) {
+                close_wait(acq_t0);
+                tracer.record(trace::EventKind::GlobalAcquire, acq_t0, tracer.now(),
+                              chunk->start, chunk->size);
+            }
             ++stats.global_refills;
-            if (const auto sub = local.push_and_pop(chunk->start, chunk->size)) {
+            double push_t0 = 0.0;
+            double push_wait = 0.0;
+            if (tracing) {
+                push_t0 = tracer.now();
+            }
+            const auto sub = local.push_and_pop(chunk->start, chunk->size,
+                                                tracing ? &push_wait : nullptr);
+            if (tracing) {
+                tracer.record(trace::EventKind::LocalPop, push_t0, tracer.now(),
+                              sub ? sub->begin : -1, sub ? sub->end : -1, push_wait);
+                tracer.instant(trace::EventKind::RefillEnd, tracer.now(), chunk->start,
+                               chunk->size);
+            }
+            if (sub) {
                 execute(*sub);
             }
             continue;
         }
+        if (record_probe) {
+            tracer.record(trace::EventKind::GlobalAcquire, acq_t0, tracer.now(), 0, 0);
+        }
         local.end_refill();
+        if (record_probe) {
+            tracer.instant(trace::EventKind::RefillEnd, tracer.now(), 0, 0);
+        }
         // Global queue exhausted. Terminate only when no peer is mid-refill
         // and nothing is left to pop, otherwise work could still appear.
         if (!local.refills_in_flight() && !local.has_pending()) {
             break;
         }
+        if (tracing && wait_start < 0.0) {
+            wait_start = tracer.now();
+        }
         std::this_thread::yield();
+    }
+    close_wait(tracer.now());
+    if (tracing) {
+        tracer.instant(trace::EventKind::Terminate, tracer.now());
     }
 
     stats.finish_seconds = seconds_since(t0);

@@ -14,14 +14,18 @@
 #include "core/report.hpp"
 #include "core/types.hpp"
 #include "minimpi/minimpi.hpp"
+#include "trace/recorder.hpp"
 
 namespace hdls::core {
 
 /// Executes the calling rank's share of the hierarchical loop [0, n).
 /// Collective over ctx.world(); every rank must call it with identical
 /// arguments. Returns this rank's statistics (finish time is measured from
-/// the common post-setup barrier).
+/// the common post-setup barrier). A default-constructed (disabled)
+/// `tracer` records nothing and costs nothing; an enabled one records the
+/// rank's chunk-lifecycle events.
 [[nodiscard]] WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n,
-                                           const HierConfig& cfg, const ChunkBody& body);
+                                           const HierConfig& cfg, const ChunkBody& body,
+                                           trace::WorkerTracer tracer = {});
 
 }  // namespace hdls::core

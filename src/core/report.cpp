@@ -54,6 +54,13 @@ void ExecutionReport::print(std::ostream& os) const {
        << "  global chunks: " << global_chunks()
        << "  executed chunks: " << executed_chunks()
        << "  refillers: " << distinct_refillers() << "\n";
+    if (trace) {
+        os << "  trace: " << trace->events.size() << " events";
+        if (trace->dropped() > 0) {
+            os << " (" << trace->dropped() << " dropped on ring-buffer overflow)";
+        }
+        os << "\n";
+    }
 }
 
 }  // namespace hdls::core

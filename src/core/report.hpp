@@ -3,10 +3,12 @@
 /// Execution reports: what a hierarchical run did and how balanced it was.
 
 #include <cstdint>
+#include <memory>
 #include <ostream>
 #include <vector>
 
 #include "core/types.hpp"
+#include "trace/trace.hpp"
 
 namespace hdls::core {
 
@@ -31,6 +33,9 @@ struct ExecutionReport {
     std::int64_t total_iterations = 0;
     double parallel_seconds = 0.0;  ///< max worker finish time (the paper's metric)
     std::vector<WorkerStats> workers;
+    /// Merged chunk-lifecycle event trace; null unless HierConfig::trace
+    /// was set for the run.
+    std::shared_ptr<const trace::Trace> trace;
 
     /// Sum of per-worker iteration counts (must equal total_iterations).
     [[nodiscard]] std::int64_t executed_iterations() const noexcept;

@@ -5,10 +5,13 @@
 #include <stdexcept>
 #include <string>
 
+#include <memory>
+
 #include "core/hybrid_executor.hpp"
 #include "core/mpi_mpi_executor.hpp"
 #include "minimpi/minimpi.hpp"
 #include "ompsim/schedule.hpp"
+#include "trace/recorder.hpp"
 
 namespace hdls::core {
 
@@ -69,11 +72,21 @@ ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
 
     std::mutex merge_mutex;
 
+    // Opt-in event tracing: one ring buffer per worker, merged after the
+    // run. A null session means every executor carries a disabled recorder.
+    std::unique_ptr<trace::TraceSession> session;
+    if (cfg.trace) {
+        session = std::make_unique<trace::TraceSession>(shape.total_workers(),
+                                                        cfg.trace_capacity);
+    }
+
     switch (approach) {
         case Approach::MpiMpi: {
             minimpi::Topology topo{shape.workers_per_node};
             minimpi::Runtime::run(shape.total_workers(), topo, [&](minimpi::Context& ctx) {
-                const WorkerStats stats = run_mpi_mpi_rank(ctx, n, cfg, body);
+                const trace::WorkerTracer tracer =
+                    session ? session->tracer(ctx.rank(), ctx.node()) : trace::WorkerTracer{};
+                const WorkerStats stats = run_mpi_mpi_rank(ctx, n, cfg, body, tracer);
                 const std::lock_guard<std::mutex> lock(merge_mutex);
                 report.workers[static_cast<std::size_t>(ctx.rank())] = stats;
             });
@@ -83,7 +96,7 @@ ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
             minimpi::Topology topo{1};  // one master rank per node
             minimpi::Runtime::run(shape.nodes, topo, [&](minimpi::Context& ctx) {
                 const auto stats =
-                    run_hybrid_rank(ctx, shape.workers_per_node, n, cfg, body);
+                    run_hybrid_rank(ctx, shape.workers_per_node, n, cfg, body, session.get());
                 const std::lock_guard<std::mutex> lock(merge_mutex);
                 for (int t = 0; t < shape.workers_per_node; ++t) {
                     report.workers[static_cast<std::size_t>(
@@ -93,6 +106,15 @@ ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
             });
             break;
         }
+    }
+
+    if (session) {
+        report.trace = session->finish({.approach = std::string(approach_name(approach)),
+                                        .inter = std::string(dls::technique_name(cfg.inter)),
+                                        .intra = std::string(dls::technique_name(cfg.intra)),
+                                        .nodes = shape.nodes,
+                                        .workers_per_node = shape.workers_per_node,
+                                        .total_iterations = n});
     }
 
     double max_finish = 0.0;

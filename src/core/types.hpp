@@ -2,6 +2,7 @@
 /// \file types.hpp
 /// Public configuration types of the hierarchical DLS library.
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 
@@ -47,6 +48,14 @@ struct HierConfig {
     /// cannot do this — benches reproducing the paper disable it and report
     /// "n/a" for those combinations.
     bool allow_extended_openmp_schedules = true;
+    /// Record the chunk-lifecycle event trace of the run (see src/trace/).
+    /// When false (the default) the executors carry a disabled recorder and
+    /// the run pays nothing; when true ExecutionReport::trace holds the
+    /// merged events.
+    bool trace = false;
+    /// Per-worker trace ring-buffer capacity in events (rounded up to a
+    /// power of two). Overflow drops events and counts the drops.
+    std::size_t trace_capacity = 1 << 14;
 };
 
 /// Loop body executed chunk-wise. MUST be thread-safe across disjoint

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "dls/chunk_formulas.hpp"
+#include "sim/engine_trace.hpp"
 #include "sim/engines.hpp"
 #include "sim/resources.hpp"
 
@@ -35,10 +36,10 @@ struct Event {
 }  // namespace
 
 SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& config,
-                                  const WorkloadTrace& trace) {
+                                  const WorkloadTrace& workload) {
     const CostModel& costs = cluster.costs;
     const int team = cluster.workers_per_node;
-    const std::int64_t n = trace.iterations();
+    const std::int64_t n = workload.iterations();
 
     SimReport report;
     report.nodes = cluster.nodes;
@@ -49,7 +50,13 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
         report.workers[static_cast<std::size_t>(w)].node = w / team;
         report.workers[static_cast<std::size_t>(w)].worker_in_node = w % team;
     }
+    EngineTrace engine_trace(cluster, config);
+    const auto attach_trace = [&] {
+        engine_trace.attach(report, ExecModel::MpiOpenMp, cluster, config, n);
+    };
+
     if (n == 0) {
+        attach_trace();
         return report;
     }
 
@@ -90,6 +97,11 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
             SimWorker& w = worker_of(node, tid);
             w.idle += latest - nr.clock[static_cast<std::size_t>(tid)];
             w.overhead += costs.barrier_s(team);
+            auto& tracer = engine_trace.tracer(node * team + tid);
+            if (tracer.enabled()) {
+                tracer.record(trace::EventKind::BarrierWait,
+                              nr.clock[static_cast<std::size_t>(tid)], done);
+            }
             nr.clock[static_cast<std::size_t>(tid)] = done;
         }
         return done;
@@ -109,11 +121,20 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
                 const std::int64_t len = base + (tid < extra ? 1 : 0);
                 if (len > 0) {
                     SimWorker& w = worker_of(node, tid);
-                    const double compute = trace.range_cost(begin, begin + len);
+                    const double compute = workload.range_cost(begin, begin + len);
                     w.busy += compute;
                     w.overhead += costs.chunk_overhead_s();
                     w.iterations += len;
                     ++w.sub_chunks;
+                    auto& tracer = engine_trace.tracer(node * team + tid);
+                    if (tracer.enabled()) {
+                        const double exec0 = nr.clock[static_cast<std::size_t>(tid)] +
+                                             costs.chunk_overhead_s();
+                        tracer.instant(trace::EventKind::ChunkExecBegin, exec0, begin,
+                                       begin + len);
+                        tracer.instant(trace::EventKind::ChunkExecEnd, exec0 + compute,
+                                       begin, begin + len);
+                    }
                     nr.clock[static_cast<std::size_t>(tid)] +=
                         costs.chunk_overhead_s() + compute;
                     begin += len;
@@ -144,13 +165,19 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
                 }
             }
             SimWorker& w = worker_of(node, tid);
+            auto& tracer = engine_trace.tracer(node * team + tid);
             const double before = counter.busy_until();
             const double completion = counter.acquire(best);
-            w.lock_wait += std::max(0.0, before - best);
+            const double dequeue_wait = std::max(0.0, before - best);
+            w.lock_wait += dequeue_wait;
             w.overhead += completion - best;
             const std::int64_t hint = dls::chunk_size_for_step(config.intra, p, step);
             if (hint <= 0 || scheduled >= size) {
                 // Failed dequeue: the thread leaves the construct.
+                if (tracer.enabled()) {
+                    tracer.record(trace::EventKind::LocalPop, best, completion, -1, -1,
+                                  dequeue_wait);
+                }
                 nr.clock[static_cast<std::size_t>(tid)] = completion;
                 done[static_cast<std::size_t>(tid)] = true;
                 --remaining_threads;
@@ -160,11 +187,19 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
             const std::int64_t take = std::min(hint, size - scheduled);
             const std::int64_t begin = start + scheduled;
             scheduled += take;
-            const double compute = trace.range_cost(begin, begin + take);
+            const double compute = workload.range_cost(begin, begin + take);
             w.busy += compute;
             w.overhead += costs.chunk_overhead_s();
             w.iterations += take;
             ++w.sub_chunks;
+            if (tracer.enabled()) {
+                tracer.record(trace::EventKind::LocalPop, best, completion, begin,
+                              begin + take, dequeue_wait);
+                const double exec0 = completion + costs.chunk_overhead_s();
+                tracer.instant(trace::EventKind::ChunkExecBegin, exec0, begin, begin + take);
+                tracer.instant(trace::EventKind::ChunkExecEnd, exec0 + compute, begin,
+                               begin + take);
+            }
             nr.clock[static_cast<std::size_t>(tid)] =
                 completion + costs.chunk_overhead_s() + compute;
         }
@@ -183,6 +218,7 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
 
         // Master (thread 0) fetches the next chunk: MPI_THREAD_FUNNELED.
         const double t0 = nr.clock[0];
+        auto& master_tracer = engine_trace.tracer(ev.node * team);
         std::optional<std::pair<std::int64_t, std::int64_t>> chunk;
         if (!g_exhausted) {
             const double t1 = global_op(t0);
@@ -192,6 +228,9 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
                 g_exhausted = true;
                 master.overhead += t1 - t0;
                 nr.clock[0] = t1;
+                if (master_tracer.enabled()) {
+                    master_tracer.record(trace::EventKind::GlobalAcquire, t0, t1, 0, 0);
+                }
             } else {
                 const double t2 = global_op(t1);
                 const std::int64_t start = g_scheduled;
@@ -200,9 +239,16 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
                 nr.clock[0] = t2;
                 if (start >= n) {
                     g_exhausted = true;
+                    if (master_tracer.enabled()) {
+                        master_tracer.record(trace::EventKind::GlobalAcquire, t0, t2, 0, 0);
+                    }
                 } else {
                     chunk = std::pair{start, std::min(hint, n - start)};
                     ++master.global_refills;
+                    if (master_tracer.enabled()) {
+                        master_tracer.record(trace::EventKind::GlobalAcquire, t0, t2,
+                                             chunk->first, chunk->second);
+                    }
                 }
             }
         }
@@ -214,6 +260,10 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
         if (!chunk) {
             for (int tid = 0; tid < team; ++tid) {
                 worker_of(ev.node, tid).finish = published;
+                auto& tracer = engine_trace.tracer(ev.node * team + tid);
+                if (tracer.enabled()) {
+                    tracer.instant(trace::EventKind::Terminate, published);
+                }
             }
             ++finished_nodes;
             continue;
@@ -229,6 +279,7 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
         max_finish = std::max(max_finish, w.finish);
     }
     report.parallel_time = max_finish;
+    attach_trace();
     return report;
 }
 

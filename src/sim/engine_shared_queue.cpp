@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "dls/chunk_formulas.hpp"
+#include "sim/engine_trace.hpp"
 #include "sim/engines.hpp"
 #include "sim/resources.hpp"
 
@@ -75,11 +76,11 @@ struct Event {
 }  // namespace
 
 SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& config,
-                                const WorkloadTrace& trace, bool polling_lock,
+                                const WorkloadTrace& workload, bool polling_lock,
                                 bool any_rank_refills) {
     const CostModel& costs = cluster.costs;
     const int total_workers = cluster.total_workers();
-    const std::int64_t n = trace.iterations();
+    const std::int64_t n = workload.iterations();
 
     SimReport report;
     report.nodes = cluster.nodes;
@@ -91,7 +92,15 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
         report.workers[static_cast<std::size_t>(w)].worker_in_node =
             w % cluster.workers_per_node;
     }
+    EngineTrace engine_trace(cluster, config);
+    const auto attach_trace = [&] {
+        engine_trace.attach(report,
+                            polling_lock ? ExecModel::MpiMpi : ExecModel::MpiOpenMpNowait,
+                            cluster, config, n);
+    };
+
     if (n == 0) {
+        attach_trace();
         return report;
     }
 
@@ -152,6 +161,11 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
         return std::nullopt;
     };
 
+    // Waiting spans are coalesced per worker: one BarrierWait event from
+    // the first empty-handed wake-up to the wake-up that found work (or
+    // terminated), mirroring the real executor's recording.
+    std::vector<double> wait_from(static_cast<std::size_t>(total_workers), -1.0);
+
     int finished = 0;
     while (finished < total_workers) {
         const Event ev = events.top();
@@ -159,19 +173,42 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
         SimWorker& w = report.workers[static_cast<std::size_t>(ev.worker)];
         NodeState& node = nodes[static_cast<std::size_t>(w.node)];
         const double t = ev.time;
+        trace::WorkerTracer& tracer = engine_trace.tracer(ev.worker);
+        const bool tracing = tracer.enabled();
+        double& waiting_since = wait_from[static_cast<std::size_t>(ev.worker)];
+        const bool record_probe = tracing && waiting_since < 0.0;
+        const auto close_wait = [&](double end) {
+            if (tracing && waiting_since >= 0.0) {
+                tracer.record(trace::EventKind::BarrierWait, waiting_since, end);
+                waiting_since = -1.0;
+            }
+        };
 
         // ---- stage 2: try to pop a sub-chunk from the node queue --------
         const QueueAccess acc = access_queue(node, t);
         w.lock_wait += acc.wait;
         w.overhead += acc.released - t;
         if (const auto sub = pop_visible(node, acc.granted)) {
-            const double compute = trace.range_cost(sub->first, sub->second);
+            close_wait(t);
+            const double compute = workload.range_cost(sub->first, sub->second);
             w.busy += compute;
             w.overhead += costs.chunk_overhead_s();
             w.iterations += sub->second - sub->first;
             ++w.sub_chunks;
+            if (tracing) {
+                tracer.record(trace::EventKind::LocalPop, t, acc.released, sub->first,
+                              sub->second, acc.wait);
+                const double exec0 = acc.released + costs.chunk_overhead_s();
+                tracer.instant(trace::EventKind::ChunkExecBegin, exec0, sub->first,
+                               sub->second);
+                tracer.instant(trace::EventKind::ChunkExecEnd, exec0 + compute, sub->first,
+                               sub->second);
+            }
             events.push({acc.released + costs.chunk_overhead_s() + compute, ev.worker});
             continue;
+        }
+        if (record_probe) {
+            tracer.record(trace::EventKind::LocalPop, t, acc.released, -1, -1, acc.wait);
         }
 
         double now = acc.released;
@@ -179,6 +216,9 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
         // ---- stage 1: queue drained; refill from the global queue -------
         const bool may_refill = any_rank_refills || w.worker_in_node == 0;
         if (may_refill && !global.exhausted) {
+            if (record_probe) {
+                tracer.instant(trace::EventKind::RefillBegin, now);
+            }
             const double t1 = global_op(global, costs, now);
             const std::int64_t step = global.step++;
             const std::int64_t hint =
@@ -186,18 +226,31 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
             if (hint <= 0) {
                 global.exhausted = true;
                 w.overhead += t1 - now;
+                if (record_probe) {
+                    tracer.record(trace::EventKind::GlobalAcquire, now, t1, 0, 0);
+                    tracer.instant(trace::EventKind::RefillEnd, t1, 0, 0);
+                }
                 now = t1;
             } else {
                 const double t2 = global_op(global, costs, t1);
                 const std::int64_t start = global.scheduled;
                 global.scheduled += hint;
                 w.overhead += t2 - now;
-                now = t2;
                 if (start >= n) {
                     global.exhausted = true;
+                    if (record_probe) {
+                        tracer.record(trace::EventKind::GlobalAcquire, now, t2, 0, 0);
+                        tracer.instant(trace::EventKind::RefillEnd, t2, 0, 0);
+                    }
+                    now = t2;
                 } else {
                     const std::int64_t size = std::min(hint, n - start);
                     ++w.global_refills;
+                    close_wait(now);
+                    if (tracing) {
+                        tracer.record(trace::EventKind::GlobalAcquire, now, t2, start, size);
+                    }
+                    now = t2;
                     // Push + pop own first sub-chunk in one queue access.
                     const QueueAccess push = access_queue(node, now);
                     w.lock_wait += push.wait;
@@ -207,12 +260,26 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
                     const auto sub = pop_visible(node, push.released);
                     // The fresh chunk is visible to us inside the epoch.
                     const double compute =
-                        sub ? trace.range_cost(sub->first, sub->second) : 0.0;
+                        sub ? workload.range_cost(sub->first, sub->second) : 0.0;
                     if (sub) {
                         w.busy += compute;
                         w.overhead += costs.chunk_overhead_s();
                         w.iterations += sub->second - sub->first;
                         ++w.sub_chunks;
+                    }
+                    if (tracing) {
+                        tracer.record(trace::EventKind::LocalPop, now, push.released,
+                                      sub ? sub->first : -1, sub ? sub->second : -1,
+                                      push.wait);
+                        tracer.instant(trace::EventKind::RefillEnd, push.released, start,
+                                       size);
+                        if (sub) {
+                            const double exec0 = push.released + costs.chunk_overhead_s();
+                            tracer.instant(trace::EventKind::ChunkExecBegin, exec0,
+                                           sub->first, sub->second);
+                            tracer.instant(trace::EventKind::ChunkExecEnd, exec0 + compute,
+                                           sub->first, sub->second);
+                        }
                     }
                     events.push(
                         {push.released + costs.chunk_overhead_s() + compute, ev.worker});
@@ -234,6 +301,9 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
             }
             const double next = std::max(now, earliest);
             w.idle += next - now;
+            if (tracing && waiting_since < 0.0) {
+                waiting_since = now;
+            }
             events.push({next, ev.worker});
             continue;
         }
@@ -241,8 +311,15 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
             // Only reachable for nowait non-masters: the pool is empty and
             // the master has not refilled yet — poll again later.
             w.idle += poll_quantum;
+            if (tracing && waiting_since < 0.0) {
+                waiting_since = now;
+            }
             events.push({now + poll_quantum, ev.worker});
             continue;
+        }
+        close_wait(now);
+        if (tracing) {
+            tracer.instant(trace::EventKind::Terminate, now);
         }
         w.finish = now;
         ++finished;
@@ -253,6 +330,7 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
         max_finish = std::max(max_finish, w.finish);
     }
     report.parallel_time = max_finish;
+    attach_trace();
     return report;
 }
 

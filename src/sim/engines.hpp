@@ -16,7 +16,7 @@ namespace hdls::sim::detail {
 ///  * any_rank_refills = false restricts global-queue access to worker 0 of
 ///    each node (MPI_THREAD_FUNNELED).
 [[nodiscard]] SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& config,
-                                              const WorkloadTrace& trace, bool polling_lock,
+                                              const WorkloadTrace& workload, bool polling_lock,
                                               bool any_rank_refills);
 
 /// Node-level engine: per node, a master fetches level-1 chunks and a
@@ -24,6 +24,6 @@ namespace hdls::sim::detail {
 /// barrier per chunk — the MPI+OpenMP baseline (paper Figure 2).
 [[nodiscard]] SimReport simulate_hybrid_barrier(const ClusterSpec& cluster,
                                                 const SimConfig& config,
-                                                const WorkloadTrace& trace);
+                                                const WorkloadTrace& workload);
 
 }  // namespace hdls::sim::detail

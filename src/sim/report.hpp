@@ -3,10 +3,12 @@
 /// Simulation results.
 
 #include <cstdint>
+#include <memory>
 #include <ostream>
 #include <vector>
 
 #include "dls/technique.hpp"
+#include "trace/trace.hpp"
 
 namespace hdls::sim {
 
@@ -31,6 +33,8 @@ struct SimReport {
     std::int64_t total_iterations = 0;
     double parallel_time = 0.0;  ///< the paper's metric: max worker finish time
     std::vector<SimWorker> workers;
+    /// Virtual-time chunk-lifecycle events; null unless SimConfig::trace.
+    std::shared_ptr<const trace::Trace> trace;
 
     [[nodiscard]] std::int64_t executed_iterations() const noexcept;
     [[nodiscard]] std::int64_t global_chunks() const noexcept;

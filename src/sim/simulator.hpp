@@ -19,6 +19,7 @@
 ///    with cheap atomic dequeues; only the master thread may refill
 ///    (MPI_THREAD_FUNNELED), unlike MPI+MPI's any-rank refill.
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string_view>
@@ -44,6 +45,12 @@ struct SimConfig {
     dls::Technique inter = dls::Technique::GSS;
     dls::Technique intra = dls::Technique::GSS;
     std::int64_t min_chunk = 1;
+    /// Record virtual-time chunk-lifecycle events into SimReport::trace
+    /// (same schema as the real executors' traces, so every exporter and
+    /// analysis in src/trace/ applies).
+    bool trace = false;
+    /// Per-worker trace ring-buffer capacity in events.
+    std::size_t trace_capacity = 1 << 16;
 };
 
 /// Simulates one loop execution; throws std::invalid_argument for

@@ -1,0 +1,132 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/table.hpp"
+
+namespace hdls::trace {
+
+namespace {
+
+/// Pairs ChunkExecBegin/ChunkExecEnd per worker. Executors emit them
+/// strictly nested and in order, so the last unmatched Begin matches the
+/// next End of the same worker.
+struct ExecPairing {
+    double begin_time = 0.0;
+    bool open = false;
+};
+
+}  // namespace
+
+TraceAnalysis analyze(const Trace& trace) {
+    TraceAnalysis out;
+    std::map<int, std::size_t> index_of;  // worker id -> index in out.workers
+    std::vector<ExecPairing> pending;
+    std::vector<double> lock_waits;
+
+    const auto slot = [&](const Event& e) -> WorkerBreakdown& {
+        const auto [it, inserted] = index_of.try_emplace(e.worker, out.workers.size());
+        if (inserted) {
+            WorkerBreakdown wb;
+            wb.worker = e.worker;
+            wb.node = e.node;
+            out.workers.push_back(wb);
+            pending.emplace_back();
+        }
+        return out.workers[it->second];
+    };
+
+    for (const Event& e : trace.events) {
+        WorkerBreakdown& w = slot(e);
+        ExecPairing& pair = pending[index_of[e.worker]];
+        w.finish = std::max(w.finish, e.t1);
+        switch (e.kind) {
+            case EventKind::GlobalAcquire:
+                w.sched_overhead += e.duration();
+                if (e.b > 0) {
+                    ++w.global_chunks;
+                }
+                break;
+            case EventKind::LocalPop:
+                w.sched_overhead += e.duration();
+                w.lock_wait += e.wait;
+                lock_waits.push_back(e.wait);
+                break;
+            case EventKind::ChunkExecBegin:
+                pair.begin_time = e.t0;
+                pair.open = true;
+                break;
+            case EventKind::ChunkExecEnd:
+                if (pair.open) {
+                    w.compute += e.t1 - pair.begin_time;
+                    pair.open = false;
+                } // an unmatched End (Begin dropped on overflow) adds nothing
+                ++w.chunks;
+                w.iterations += e.b - e.a;
+                break;
+            case EventKind::BarrierWait:
+                w.barrier_wait += e.duration();
+                break;
+            case EventKind::RefillBegin:
+            case EventKind::RefillEnd:
+            case EventKind::Terminate:
+                break;  // markers: no time attributed
+        }
+    }
+
+    std::sort(out.workers.begin(), out.workers.end(),
+              [](const WorkerBreakdown& x, const WorkerBreakdown& y) {
+                  return x.worker < y.worker;
+              });
+
+    util::OnlineStats finish;
+    for (const WorkerBreakdown& w : out.workers) {
+        finish.add(w.finish);
+        out.total_compute += w.compute;
+        out.total_sched_overhead += w.sched_overhead;
+        out.total_lock_wait += w.lock_wait;
+        out.total_barrier_wait += w.barrier_wait;
+    }
+    out.max_finish = finish.max();
+    out.mean_finish = finish.mean();
+    out.makespan = finish.max();
+    out.finish_cov = finish.cov();
+    if (out.mean_finish > 0.0) {
+        out.max_over_mean = out.max_finish / out.mean_finish;
+        out.percent_imbalance = (out.max_over_mean - 1.0) * 100.0;
+    }
+    out.lock_wait_stats = util::summarize(lock_waits);
+    return out;
+}
+
+double TraceAnalysis::overhead_fraction() const noexcept {
+    const double accounted = total_compute + total_sched_overhead + total_barrier_wait;
+    return accounted > 0.0 ? total_sched_overhead / accounted : 0.0;
+}
+
+void TraceAnalysis::print(std::ostream& os) const {
+    util::TextTable table({"worker", "node", "compute (ms)", "overhead (ms)", "lock wait (ms)",
+                           "barrier wait (ms)", "finish (ms)", "chunks", "iterations"});
+    for (const WorkerBreakdown& w : workers) {
+        table.add_row({std::to_string(w.worker), std::to_string(w.node),
+                       util::format_double(w.compute * 1e3, 3),
+                       util::format_double(w.sched_overhead * 1e3, 3),
+                       util::format_double(w.lock_wait * 1e3, 3),
+                       util::format_double(w.barrier_wait * 1e3, 3),
+                       util::format_double(w.finish * 1e3, 3), std::to_string(w.chunks),
+                       std::to_string(w.iterations)});
+    }
+    table.print(os);
+    os << "makespan: " << util::format_seconds(makespan)
+       << "  imbalance: " << util::format_double(percent_imbalance, 2) << "%"
+       << "  finish CoV: " << util::format_double(finish_cov, 4)
+       << "  overhead share: " << util::format_double(overhead_fraction() * 100.0, 2) << "%\n"
+       << "lock wait: mean " << util::format_seconds(lock_wait_stats.mean) << "  p99 "
+       << util::format_seconds(lock_wait_stats.p99) << "  max "
+       << util::format_seconds(lock_wait_stats.max) << "  (" << lock_wait_stats.count
+       << " epochs)\n";
+}
+
+}  // namespace hdls::trace

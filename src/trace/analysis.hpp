@@ -1,0 +1,66 @@
+#pragma once
+/// \file analysis.hpp
+/// Derives the paper's diagnostics from a merged trace: the per-worker
+/// scheduling-overhead vs. compute decomposition behind Figures 2/3, the
+/// load-imbalance metrics of the DLS literature, and the lock-contention
+/// distribution (time between lock request and grant) that explains the
+/// intra-node SS behaviour under MPI+MPI.
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/stats.hpp"
+
+namespace hdls::trace {
+
+/// Per-worker time decomposition derived purely from events.
+struct WorkerBreakdown {
+    int worker = 0;
+    int node = 0;
+    double compute = 0.0;         ///< inside the loop body (ChunkExec pairs)
+    double sched_overhead = 0.0;  ///< GlobalAcquire + LocalPop epochs
+    double lock_wait = 0.0;       ///< part of sched_overhead: lock request -> grant
+    double barrier_wait = 0.0;    ///< BarrierWait spans (idle / sync)
+    double finish = 0.0;          ///< end of the worker's last event
+    std::int64_t chunks = 0;      ///< executed sub-chunks (ChunkExecEnd count)
+    std::int64_t iterations = 0;  ///< iterations covered by executed sub-chunks
+    std::int64_t global_chunks = 0;  ///< successful GlobalAcquire count
+};
+
+/// Whole-run diagnostics.
+struct TraceAnalysis {
+    std::vector<WorkerBreakdown> workers;
+
+    double makespan = 0.0;      ///< max worker finish (the paper's metric)
+    double mean_finish = 0.0;
+    double max_finish = 0.0;
+    /// Percent load imbalance lambda = (max/mean - 1) * 100 of worker
+    /// finish times (0 = perfectly balanced).
+    double percent_imbalance = 0.0;
+    /// Coefficient of variation of worker finish times.
+    double finish_cov = 0.0;
+    /// max/mean finish ratio (1 = perfectly balanced).
+    double max_over_mean = 0.0;
+
+    double total_compute = 0.0;
+    double total_sched_overhead = 0.0;
+    double total_lock_wait = 0.0;
+    double total_barrier_wait = 0.0;
+
+    /// Distribution of per-epoch lock-grant latencies (every LocalPop's
+    /// request->grant wait), the contended-handoff cost of ref [38].
+    util::Summary lock_wait_stats;
+
+    /// Scheduling overhead as a fraction of total accounted worker time.
+    [[nodiscard]] double overhead_fraction() const noexcept;
+
+    /// Compact human-readable rendering (one row per worker + totals).
+    void print(std::ostream& os) const;
+};
+
+/// Runs the full analysis over a merged trace.
+[[nodiscard]] TraceAnalysis analyze(const Trace& trace);
+
+}  // namespace hdls::trace

@@ -1,0 +1,75 @@
+#pragma once
+/// \file event.hpp
+/// The chunk-lifecycle event model of the tracing subsystem.
+///
+/// A trace is a flat sequence of Events, each stamped with the recording
+/// worker and its node. Two shapes coexist:
+///  * interval events (t0 < t1): GlobalAcquire (request -> return of the
+///    distributed chunk calculation), LocalPop (lock request -> epoch
+///    release on the node queue; `wait` isolates the lock-grant latency,
+///    the quantity the paper's lock-polling discussion revolves around)
+///    and BarrierWait (entering -> leaving a wait for work or a barrier);
+///  * instant events (t0 == t1): RefillBegin/RefillEnd bracketing a refill
+///    announcement, ChunkExecBegin/ChunkExecEnd bracketing one sub-chunk's
+///    loop-body execution, and Terminate when the worker leaves the loop.
+///
+/// Timestamps are seconds relative to the trace origin (the earliest
+/// recorded event after merging); the simulator records virtual time with
+/// the same schema, so every exporter and analysis works on both.
+
+#include <cstdint>
+#include <string_view>
+
+namespace hdls::trace {
+
+enum class EventKind : std::uint8_t {
+    GlobalAcquire,   ///< global-queue chunk acquisition (a=start, b=size; b==0: exhausted probe)
+    LocalPop,        ///< node-queue pop epoch (a=begin, b=end of sub-chunk; a==b==-1: empty)
+    RefillBegin,     ///< refill announced (in-flight counter raised)
+    RefillEnd,       ///< refill completed/withdrawn (a=start, b=size pushed; b==0: none)
+    ChunkExecBegin,  ///< loop body entered for [a, b)
+    ChunkExecEnd,    ///< loop body left for [a, b)
+    BarrierWait,     ///< waiting: team barrier / work not yet visible / termination spin
+    Terminate,       ///< worker left the scheduling loop
+};
+
+inline constexpr int kEventKinds = 8;
+
+[[nodiscard]] constexpr std::string_view event_kind_name(EventKind k) noexcept {
+    switch (k) {
+        case EventKind::GlobalAcquire:
+            return "GlobalAcquire";
+        case EventKind::LocalPop:
+            return "LocalPop";
+        case EventKind::RefillBegin:
+            return "RefillBegin";
+        case EventKind::RefillEnd:
+            return "RefillEnd";
+        case EventKind::ChunkExecBegin:
+            return "ChunkExecBegin";
+        case EventKind::ChunkExecEnd:
+            return "ChunkExecEnd";
+        case EventKind::BarrierWait:
+            return "BarrierWait";
+        case EventKind::Terminate:
+            return "Terminate";
+    }
+    return "?";
+}
+
+/// One recorded event. Kept POD and small: it is the unit the per-worker
+/// ring buffers move on the executors' hot path.
+struct Event {
+    double t0 = 0.0;        ///< seconds since trace origin (start of the span)
+    double t1 = 0.0;        ///< end of the span (== t0 for instant events)
+    double wait = 0.0;      ///< lock-grant latency inside the span (LocalPop)
+    std::int64_t a = 0;     ///< payload: iteration-range begin / chunk start
+    std::int64_t b = 0;     ///< payload: iteration-range end / chunk size
+    std::int32_t worker = 0;
+    std::int32_t node = 0;
+    EventKind kind{};
+
+    [[nodiscard]] double duration() const noexcept { return t1 - t0; }
+};
+
+}  // namespace hdls::trace

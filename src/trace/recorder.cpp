@@ -1,0 +1,55 @@
+#include "trace/recorder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hdls::trace {
+
+TraceSession::TraceSession(int workers, std::size_t capacity_per_worker)
+    : epoch_(WorkerTracer::Clock::now()) {
+    if (workers < 1) {
+        throw std::invalid_argument("TraceSession: need at least one worker");
+    }
+    buffers_.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+        buffers_.push_back(std::make_unique<SpscRingBuffer<Event>>(capacity_per_worker));
+    }
+}
+
+WorkerTracer TraceSession::tracer(int worker, int node) noexcept {
+    if (worker < 0 || worker >= workers()) {
+        return WorkerTracer{};
+    }
+    return WorkerTracer(buffers_[static_cast<std::size_t>(worker)].get(), epoch_, worker, node);
+}
+
+Trace TraceSession::merge() {
+    Trace trace;
+    trace.dropped_per_worker.assign(buffers_.size(), 0);
+    for (std::size_t w = 0; w < buffers_.size(); ++w) {
+        auto events = buffers_[w]->drain();
+        trace.events.insert(trace.events.end(), events.begin(), events.end());
+        trace.dropped_per_worker[w] = static_cast<std::int64_t>(buffers_[w]->dropped());
+    }
+    std::stable_sort(trace.events.begin(), trace.events.end(),
+                     [](const Event& x, const Event& y) {
+                         return x.t0 != y.t0 ? x.t0 < y.t0 : x.worker < y.worker;
+                     });
+    // Normalize to the trace origin: t=0 is the earliest recorded event.
+    if (!trace.events.empty()) {
+        const double origin = trace.events.front().t0;
+        for (Event& e : trace.events) {
+            e.t0 -= origin;
+            e.t1 -= origin;
+        }
+    }
+    return trace;
+}
+
+std::shared_ptr<const Trace> TraceSession::finish(TraceMeta meta) {
+    Trace merged = merge();
+    merged.meta = std::move(meta);
+    return std::make_shared<const Trace>(std::move(merged));
+}
+
+}  // namespace hdls::trace

@@ -1,0 +1,92 @@
+#pragma once
+/// \file ring_buffer.hpp
+/// Fixed-capacity lock-free SPSC ring buffer.
+///
+/// One producer (the traced worker thread) and one consumer (the post-run
+/// merge) — the classic single-producer/single-consumer discipline, so
+/// both sides progress with one relaxed load and one release store per
+/// operation and never block. When the buffer is full the producer *drops*
+/// the event and counts the drop instead of waiting: tracing must never
+/// perturb the schedule it observes. The drop count is carried into the
+/// merged Trace so analyses can flag truncated workers.
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace hdls::trace {
+
+template <typename T>
+class SpscRingBuffer {
+public:
+    /// Capacity is rounded up to a power of two (index masking instead of
+    /// modulo on the hot path); at least 2.
+    explicit SpscRingBuffer(std::size_t capacity) {
+        std::size_t cap = 2;
+        while (cap < capacity) {
+            cap <<= 1;
+        }
+        slots_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    SpscRingBuffer(const SpscRingBuffer&) = delete;
+    SpscRingBuffer& operator=(const SpscRingBuffer&) = delete;
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+    /// Producer side. Returns false (and counts a drop) when full.
+    bool try_push(const T& value) noexcept {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        const std::size_t head = head_.load(std::memory_order_acquire);
+        if (tail - head >= slots_.size()) {
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        slots_[tail & mask_] = value;
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// Consumer side.
+    std::optional<T> try_pop() noexcept {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        const std::size_t tail = tail_.load(std::memory_order_acquire);
+        if (head == tail) {
+            return std::nullopt;
+        }
+        T value = slots_[head & mask_];
+        head_.store(head + 1, std::memory_order_release);
+        return value;
+    }
+
+    /// Consumer side: pops everything currently visible.
+    [[nodiscard]] std::vector<T> drain() {
+        std::vector<T> out;
+        out.reserve(size());
+        while (auto v = try_pop()) {
+            out.push_back(*v);
+        }
+        return out;
+    }
+
+    /// Events currently buffered (consumer-side estimate).
+    [[nodiscard]] std::size_t size() const noexcept {
+        return tail_.load(std::memory_order_acquire) - head_.load(std::memory_order_acquire);
+    }
+
+    /// Events the producer had to discard because the buffer was full.
+    [[nodiscard]] std::size_t dropped() const noexcept {
+        return dropped_.load(std::memory_order_acquire);
+    }
+
+private:
+    std::vector<T> slots_;
+    std::size_t mask_ = 0;
+    alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer cursor
+    alignas(64) std::atomic<std::size_t> tail_{0};  ///< producer cursor
+    std::atomic<std::size_t> dropped_{0};
+};
+
+}  // namespace hdls::trace

@@ -28,8 +28,10 @@ double OnlineStats::variance() const noexcept {
 double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
 
 double OnlineStats::cov() const noexcept {
+    // |mean| in the denominator: a dispersion measure must not flip sign
+    // for negative-mean series.
     const double m = mean();
-    return m != 0.0 ? stddev() / m : 0.0;
+    return m != 0.0 ? stddev() / std::abs(m) : 0.0;
 }
 
 void OnlineStats::merge(const OnlineStats& other) noexcept {

@@ -19,7 +19,7 @@ public:
     /// Sample variance (n-1 denominator); 0 for fewer than two samples.
     [[nodiscard]] double variance() const noexcept;
     [[nodiscard]] double stddev() const noexcept;
-    /// Coefficient of variation (stddev / mean); 0 when the mean is 0.
+    /// Coefficient of variation (stddev / |mean|); 0 when the mean is 0.
     [[nodiscard]] double cov() const noexcept;
     [[nodiscard]] double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
     [[nodiscard]] double max() const noexcept { return n_ > 0 ? max_ : 0.0; }

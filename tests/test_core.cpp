@@ -137,6 +137,83 @@ TEST(LocalQueueTest, MultipleChunksQueueFifo) {
     });
 }
 
+// -------------------------------------------- termination protocol
+
+TEST(LocalQueueTest, SlowRefillerInFlightKeepsPeersAliveAndLosesNoIterations) {
+    // One rank announces a refill, then takes its time fetching the chunk
+    // (the global queue looks exhausted to everyone else meanwhile). Peers
+    // running the executor's termination protocol must keep polling — not
+    // terminate — until the chunk lands, and every iteration must execute.
+    minimpi::Runtime::run(4, [](minimpi::Context& ctx) {
+        constexpr std::int64_t kChunk = 48;
+        const auto node = ctx.world().split_type(minimpi::SplitType::Shared, ctx.rank());
+        NodeWorkQueue q(node, Technique::SS, 1);
+        std::int64_t mine = 0;
+        if (ctx.rank() == 0) {
+            q.begin_refill();  // announce *before* the slow global fetch
+            ctx.world().barrier();
+            std::this_thread::sleep_for(std::chrono::milliseconds(30));
+            if (const auto sub = q.push_and_pop(0, kChunk)) {
+                mine += sub->end - sub->begin;
+            }
+            // Stay busy with "its own" sub-chunk while the peers (which
+            // kept polling through the 30 ms refill) drain the rest.
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        } else {
+            ctx.world().barrier();
+        }
+        // Everyone (refiller included) drains with the executor's
+        // termination condition: only stop when nothing is pending and no
+        // refill is in flight.
+        for (;;) {
+            if (const auto sub = q.try_pop()) {
+                mine += sub->end - sub->begin;
+                continue;
+            }
+            if (!q.refills_in_flight() && !q.has_pending()) {
+                break;
+            }
+            std::this_thread::yield();
+        }
+        const auto total = ctx.world().allreduce(mine, minimpi::ReduceOp::Sum);
+        EXPECT_EQ(total, kChunk);  // no rank left early, nothing lost
+        const auto non_refiller =
+            ctx.world().allreduce(ctx.rank() == 0 ? 0 : mine, minimpi::ReduceOp::Sum);
+        EXPECT_GT(non_refiller, 0);  // peers stayed alive to take work
+        q.free();
+    });
+}
+
+TEST(LocalQueueTest, CapacityThrowReleasesRefillAnnouncement) {
+    // Regression: the capacity-exceeded throw in push_and_pop used to leak
+    // the in-flight announcement, leaving kInflight > 0 forever so peers
+    // spun in the termination protocol. The announcement must be withdrawn
+    // on the throw path too.
+    minimpi::Runtime::run(1, [](minimpi::Context& ctx) {
+        const auto node = ctx.world().split_type(minimpi::SplitType::Shared, 0);
+        NodeWorkQueue q(node, Technique::SS, 1);
+        // Capacity is node.size() + 4 = 5. Chunks are large enough that no
+        // slot retires (each embedded pop takes one SS iteration), so the
+        // sixth push must hit the capacity check and throw.
+        for (int i = 0; i < 5; ++i) {
+            q.begin_refill();
+            (void)q.push_and_pop(i * 100, 100);
+        }
+        q.begin_refill();
+        EXPECT_TRUE(q.refills_in_flight());
+        EXPECT_THROW((void)q.push_and_pop(900, 100), minimpi::Error);
+        // The failed refill must not leave the announcement raised.
+        EXPECT_FALSE(q.refills_in_flight());
+        // The queue remains usable: drain everything that was pushed.
+        std::int64_t drained = 0;
+        while (auto sub = q.try_pop()) {
+            drained += sub->end - sub->begin;
+        }
+        EXPECT_EQ(drained, 5 * 100 - 5);  // 5 chunks of 100, 1 popped each
+        q.free();
+    });
+}
+
 // ------------------------------------------------- coverage across combos
 
 struct ComboCase {

@@ -1,0 +1,408 @@
+/// \file test_trace.cpp
+/// Tests for the chunk-event tracing subsystem: ring-buffer overflow
+/// accounting, recorder/merge semantics, exporter output structure, the
+/// derived diagnostics, and end-to-end integration with both executors and
+/// the simulator (event counts must agree with the execution reports).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/synthetic.hpp"
+#include "core/hdls.hpp"
+#include "sim/simulator.hpp"
+#include "trace/ring_buffer.hpp"
+
+namespace {
+
+using namespace hdls;
+using hdls::dls::Technique;
+using trace::EventKind;
+
+// ------------------------------------------------------------ ring buffer
+
+TEST(RingBufferTest, FifoOrderWithinCapacity) {
+    trace::SpscRingBuffer<int> rb(4);
+    EXPECT_EQ(rb.capacity(), 4u);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_TRUE(rb.try_push(i));
+    }
+    for (int i = 0; i < 4; ++i) {
+        const auto v = rb.try_pop();
+        ASSERT_TRUE(v);
+        EXPECT_EQ(*v, i);
+    }
+    EXPECT_EQ(rb.try_pop(), std::nullopt);
+}
+
+TEST(RingBufferTest, OverflowDropsAndCounts) {
+    trace::SpscRingBuffer<int> rb(8);
+    for (int i = 0; i < 13; ++i) {
+        (void)rb.try_push(i);
+    }
+    // Capacity 8: pushes 8..12 (5 of them) must be dropped and counted.
+    EXPECT_EQ(rb.size(), 8u);
+    EXPECT_EQ(rb.dropped(), 5u);
+    const auto drained = rb.drain();
+    ASSERT_EQ(drained.size(), 8u);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(drained[static_cast<std::size_t>(i)], i);  // survivors are the oldest
+    }
+    // Drain frees space: pushes succeed again and the drop count persists.
+    EXPECT_TRUE(rb.try_push(99));
+    EXPECT_EQ(rb.dropped(), 5u);
+}
+
+TEST(RingBufferTest, CapacityRoundsUpToPowerOfTwo) {
+    trace::SpscRingBuffer<int> rb(5);
+    EXPECT_EQ(rb.capacity(), 8u);
+}
+
+TEST(RingBufferTest, ConcurrentProducerConsumerLosesNothing) {
+    trace::SpscRingBuffer<int> rb(64);
+    constexpr int kN = 20000;
+    std::vector<int> got;
+    std::thread consumer([&] {
+        while (static_cast<int>(got.size()) + static_cast<int>(rb.dropped()) < kN) {
+            if (auto v = rb.try_pop()) {
+                got.push_back(*v);
+            }
+        }
+    });
+    for (int i = 0; i < kN; ++i) {
+        (void)rb.try_push(i);
+    }
+    consumer.join();
+    // Everything is either delivered in order or counted as dropped.
+    EXPECT_EQ(got.size() + rb.dropped(), static_cast<std::size_t>(kN));
+    for (std::size_t i = 1; i < got.size(); ++i) {
+        EXPECT_LT(got[i - 1], got[i]);
+    }
+}
+
+// -------------------------------------------------------------- recorder
+
+TEST(RecorderTest, DisabledTracerRecordsNothingAndCostsNoClock) {
+    const trace::WorkerTracer disabled;
+    EXPECT_FALSE(disabled.enabled());
+    EXPECT_EQ(disabled.now(), 0.0);
+    // Must be safe no-ops.
+    trace::WorkerTracer copy = disabled;
+    copy.record(EventKind::ChunkExecBegin, 0.0, 1.0, 0, 10);
+    copy.instant(EventKind::Terminate, 2.0);
+}
+
+TEST(RecorderTest, MergeSortsAndNormalizes) {
+    trace::TraceSession session(2, 16);
+    auto t0 = session.tracer(0, 0);
+    auto t1 = session.tracer(1, 0);
+    ASSERT_TRUE(t0.enabled());
+    t1.record(EventKind::LocalPop, 5.0, 6.0, 0, 4, 0.25);
+    t0.instant(EventKind::ChunkExecBegin, 4.0, 0, 4);
+    t0.instant(EventKind::ChunkExecEnd, 7.0, 0, 4);
+    const trace::Trace merged = session.merge();
+    ASSERT_EQ(merged.events.size(), 3u);
+    // Sorted by start time and normalized: earliest event begins at 0.
+    EXPECT_EQ(merged.events[0].kind, EventKind::ChunkExecBegin);
+    EXPECT_DOUBLE_EQ(merged.events[0].t0, 0.0);
+    EXPECT_EQ(merged.events[1].kind, EventKind::LocalPop);
+    EXPECT_DOUBLE_EQ(merged.events[1].t0, 1.0);
+    EXPECT_DOUBLE_EQ(merged.events[1].wait, 0.25);
+    EXPECT_DOUBLE_EQ(merged.duration(), 3.0);
+    EXPECT_EQ(merged.count(EventKind::ChunkExecEnd), 1);
+    EXPECT_EQ(merged.count(EventKind::ChunkExecEnd, 0), 1);
+    EXPECT_EQ(merged.count(EventKind::ChunkExecEnd, 1), 0);
+    EXPECT_EQ(merged.dropped(), 0);
+}
+
+TEST(RecorderTest, OutOfRangeWorkerYieldsDisabledTracer) {
+    trace::TraceSession session(2, 16);
+    EXPECT_FALSE(session.tracer(-1, 0).enabled());
+    EXPECT_FALSE(session.tracer(2, 0).enabled());
+}
+
+TEST(RecorderTest, OverflowAccountingReachesTheTrace) {
+    trace::TraceSession session(1, 4);
+    auto t = session.tracer(0, 0);
+    for (int i = 0; i < 10; ++i) {
+        t.instant(EventKind::ChunkExecBegin, static_cast<double>(i));
+    }
+    const trace::Trace merged = session.merge();
+    EXPECT_EQ(merged.events.size(), 4u);
+    EXPECT_EQ(merged.dropped_per_worker[0], 6);
+    EXPECT_EQ(merged.dropped(), 6);
+}
+
+// ------------------------------------------------------------- exporters
+
+trace::Trace tiny_trace() {
+    trace::TraceSession session(2, 64);
+    auto t0 = session.tracer(0, 0);
+    auto t1 = session.tracer(1, 0);
+    t0.record(EventKind::GlobalAcquire, 0.0, 0.5e-3, 0, 64);
+    t0.record(EventKind::LocalPop, 0.5e-3, 0.6e-3, 0, 16, 0.02e-3);
+    t0.instant(EventKind::ChunkExecBegin, 0.6e-3, 0, 16);
+    t0.instant(EventKind::ChunkExecEnd, 2.0e-3, 0, 16);
+    t0.instant(EventKind::Terminate, 2.1e-3);
+    t1.record(EventKind::BarrierWait, 0.0, 1.0e-3);
+    t1.instant(EventKind::Terminate, 2.0e-3);
+    trace::Trace tr = session.merge();
+    tr.meta.approach = "MPI+MPI";
+    tr.meta.inter = "GSS";
+    tr.meta.intra = "SS";
+    tr.meta.nodes = 1;
+    tr.meta.workers_per_node = 2;
+    tr.meta.total_iterations = 64;
+    return tr;
+}
+
+/// Minimal structural JSON check: balanced braces/brackets outside strings.
+void expect_balanced_json(const std::string& s) {
+    int depth = 0;
+    bool in_string = false;
+    bool escaped = false;
+    for (const char c : s) {
+        if (escaped) {
+            escaped = false;
+            continue;
+        }
+        if (c == '\\') {
+            escaped = in_string;
+            continue;
+        }
+        if (c == '"') {
+            in_string = !in_string;
+            continue;
+        }
+        if (in_string) {
+            continue;
+        }
+        if (c == '{' || c == '[') {
+            ++depth;
+        } else if (c == '}' || c == ']') {
+            --depth;
+            ASSERT_GE(depth, 0);
+        }
+    }
+    EXPECT_FALSE(in_string);
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(ExportTest, ChromeJsonStructure) {
+    const trace::Trace tr = tiny_trace();
+    std::ostringstream oss;
+    trace::export_chrome_json(tr, oss);
+    const std::string json = oss.str();
+    expect_balanced_json(json);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"approach\":\"MPI+MPI\""), std::string::npos);
+    // Interval events appear as complete ("X") events with microsecond ts.
+    EXPECT_NE(json.find("\"name\":\"GlobalAcquire\",\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"LocalPop\",\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"BarrierWait\",\"ph\":\"X\""), std::string::npos);
+    // Exec pairs appear as B/E duration events, Terminate as an instant.
+    EXPECT_NE(json.find("\"name\":\"ChunkExec\",\"ph\":\"B\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"ChunkExec\",\"ph\":\"E\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"Terminate\",\"ph\":\"i\""), std::string::npos);
+    // One JSON entry per event (plus two thread_name metadata entries).
+    const auto entries = [&] {
+        std::size_t count = 0;
+        for (std::size_t pos = json.find("\"ph\":"); pos != std::string::npos;
+             pos = json.find("\"ph\":", pos + 1)) {
+            ++count;
+        }
+        return count;
+    }();
+    EXPECT_EQ(entries, tr.events.size() + 2);
+}
+
+TEST(ExportTest, CsvHasOneRowPerEvent) {
+    const trace::Trace tr = tiny_trace();
+    std::ostringstream oss;
+    trace::export_csv(tr, oss);
+    const std::string csv = oss.str();
+    EXPECT_EQ(csv.rfind("kind,worker,node,t0,t1,wait,a,b\n", 0), 0u);
+    const auto lines = static_cast<std::size_t>(
+        std::count(csv.begin(), csv.end(), '\n'));
+    EXPECT_EQ(lines, tr.events.size() + 1);
+    EXPECT_NE(csv.find("GlobalAcquire,0,0,"), std::string::npos);
+}
+
+TEST(ExportTest, AsciiGanttRendersEveryWorkerRow) {
+    const trace::Trace tr = tiny_trace();
+    std::ostringstream oss;
+    trace::ascii_gantt(tr, oss, 40);
+    const std::string gantt = oss.str();
+    EXPECT_NE(gantt.find("w0  "), std::string::npos);
+    EXPECT_NE(gantt.find("w1  "), std::string::npos);
+    EXPECT_NE(gantt.find('#'), std::string::npos);  // worker 0 computed
+    EXPECT_NE(gantt.find('.'), std::string::npos);  // worker 1 waited
+}
+
+// -------------------------------------------------------------- analysis
+
+TEST(AnalysisTest, BreakdownMatchesHandConstructedTrace) {
+    const trace::Trace tr = tiny_trace();
+    const trace::TraceAnalysis a = trace::analyze(tr);
+    ASSERT_EQ(a.workers.size(), 2u);
+    const auto& w0 = a.workers[0];
+    EXPECT_NEAR(w0.compute, 1.4e-3, 1e-12);          // 0.6ms -> 2.0ms
+    EXPECT_NEAR(w0.sched_overhead, 0.6e-3, 1e-12);   // 0.5 acquire + 0.1 pop
+    EXPECT_NEAR(w0.lock_wait, 0.02e-3, 1e-12);
+    EXPECT_EQ(w0.chunks, 1);
+    EXPECT_EQ(w0.iterations, 16);
+    EXPECT_EQ(w0.global_chunks, 1);
+    const auto& w1 = a.workers[1];
+    EXPECT_NEAR(w1.barrier_wait, 1.0e-3, 1e-12);
+    EXPECT_DOUBLE_EQ(w1.compute, 0.0);
+    EXPECT_NEAR(a.makespan, 2.1e-3, 1e-12);
+    EXPECT_GT(a.percent_imbalance, 0.0);
+    EXPECT_GT(a.finish_cov, 0.0);
+    EXPECT_EQ(a.lock_wait_stats.count, 1u);
+    std::ostringstream oss;
+    a.print(oss);
+    EXPECT_NE(oss.str().find("makespan"), std::string::npos);
+}
+
+// ------------------------------------------------- executor integration
+
+void check_trace_matches_report(const core::ExecutionReport& report) {
+    ASSERT_TRUE(report.trace);
+    const trace::Trace& tr = *report.trace;
+    EXPECT_EQ(tr.dropped(), 0);
+    // Every executed sub-chunk produced exactly one exec begin/end pair...
+    EXPECT_EQ(tr.count(EventKind::ChunkExecEnd), report.executed_chunks());
+    EXPECT_EQ(tr.count(EventKind::ChunkExecBegin), report.executed_chunks());
+    // ...every global-queue chunk one successful GlobalAcquire...
+    EXPECT_EQ(tr.global_chunks(), report.global_chunks());
+    // ...and every worker one Terminate.
+    EXPECT_EQ(tr.count(EventKind::Terminate),
+              static_cast<std::int64_t>(report.workers.size()));
+    // Exec events cover exactly the iteration space.
+    std::int64_t iterations = 0;
+    for (const auto& e : tr.events) {
+        if (e.kind == EventKind::ChunkExecEnd) {
+            iterations += e.b - e.a;
+        }
+    }
+    EXPECT_EQ(iterations, report.total_iterations);
+    // The analysis agrees on chunk accounting.
+    const trace::TraceAnalysis a = trace::analyze(tr);
+    std::int64_t chunks = 0;
+    for (const auto& w : a.workers) {
+        chunks += w.chunks;
+    }
+    EXPECT_EQ(chunks, report.executed_chunks());
+}
+
+TEST(TraceIntegrationTest, MpiMpiGssSsOn4x4EventCountsMatchReport) {
+    core::HierConfig cfg;
+    cfg.inter = Technique::GSS;
+    cfg.intra = Technique::SS;
+    cfg.trace = true;
+    const auto report = hdls::parallel_for(
+        core::ClusterShape{4, 4}, core::Approach::MpiMpi, cfg, 2000,
+        [](std::int64_t, std::int64_t) {});
+    EXPECT_EQ(report.executed_iterations(), 2000);
+    check_trace_matches_report(report);
+    EXPECT_EQ(report.trace->meta.approach, "MPI+MPI");
+    EXPECT_EQ(report.trace->meta.inter, "GSS");
+    EXPECT_EQ(report.trace->meta.intra, "SS");
+}
+
+TEST(TraceIntegrationTest, HybridTracingMatchesReport) {
+    core::HierConfig cfg;
+    cfg.inter = Technique::FAC2;
+    cfg.intra = Technique::GSS;
+    cfg.trace = true;
+    const auto report = hdls::parallel_for(
+        core::ClusterShape{2, 3}, core::Approach::MpiOpenMp, cfg, 700,
+        [](std::int64_t, std::int64_t) {});
+    EXPECT_EQ(report.executed_iterations(), 700);
+    check_trace_matches_report(report);
+    EXPECT_EQ(report.trace->meta.approach, "MPI+OpenMP");
+}
+
+TEST(TraceIntegrationTest, DisabledRecorderAddsZeroEvents) {
+    core::HierConfig cfg;
+    cfg.inter = Technique::GSS;
+    cfg.intra = Technique::SS;
+    cfg.trace = false;  // default, spelled out: tracing is strictly opt-in
+    const auto report = hdls::parallel_for(
+        core::ClusterShape{4, 4}, core::Approach::MpiMpi, cfg, 500,
+        [](std::int64_t, std::int64_t) {});
+    EXPECT_EQ(report.executed_iterations(), 500);
+    EXPECT_EQ(report.trace, nullptr);
+}
+
+TEST(TraceIntegrationTest, TinyBufferDropsAreCountedNotFatal) {
+    core::HierConfig cfg;
+    cfg.inter = Technique::GSS;
+    cfg.intra = Technique::SS;
+    cfg.trace = true;
+    cfg.trace_capacity = 8;  // far too small on purpose
+    const auto report = hdls::parallel_for(
+        core::ClusterShape{2, 2}, core::Approach::MpiMpi, cfg, 1000,
+        [](std::int64_t, std::int64_t) {});
+    EXPECT_EQ(report.executed_iterations(), 1000);
+    ASSERT_TRUE(report.trace);
+    EXPECT_GT(report.trace->dropped(), 0);
+    // Per-worker buffers hold at most the (rounded) capacity.
+    for (int w = 0; w < report.trace->workers(); ++w) {
+        EXPECT_LE(report.trace->worker_events(w).size(), 8u);
+    }
+}
+
+// ------------------------------------------------------ sim integration
+
+TEST(TraceIntegrationTest, SimulatorTracesMatchSimReport) {
+    apps::WorkloadSpec spec;
+    spec.kind = apps::WorkloadKind::Gaussian;
+    spec.iterations = 800;
+    spec.mean_seconds = 1e-4;
+    spec.cov = 0.6;
+    const sim::WorkloadTrace workload(apps::make_workload(spec));
+    sim::ClusterSpec cluster;
+    cluster.nodes = 2;
+    cluster.workers_per_node = 4;
+    sim::SimConfig cfg;
+    cfg.inter = Technique::GSS;
+    cfg.intra = Technique::Static;
+    cfg.trace = true;
+    for (const sim::ExecModel model :
+         {sim::ExecModel::MpiMpi, sim::ExecModel::MpiOpenMp,
+          sim::ExecModel::MpiOpenMpNowait}) {
+        const auto r = simulate(model, cluster, cfg, workload);
+        ASSERT_TRUE(r.trace) << exec_model_name(model);
+        EXPECT_EQ(r.trace->dropped(), 0) << exec_model_name(model);
+        EXPECT_EQ(r.trace->count(EventKind::ChunkExecEnd), r.sub_chunks())
+            << exec_model_name(model);
+        EXPECT_EQ(r.trace->global_chunks(), r.global_chunks()) << exec_model_name(model);
+        std::int64_t iterations = 0;
+        for (const auto& e : r.trace->events) {
+            if (e.kind == EventKind::ChunkExecEnd) {
+                iterations += e.b - e.a;
+            }
+        }
+        EXPECT_EQ(iterations, 800) << exec_model_name(model);
+        // Virtual-time events never extend past the simulated makespan.
+        EXPECT_LE(r.trace->duration(), r.parallel_time + 1e-12) << exec_model_name(model);
+        EXPECT_EQ(r.trace->count(EventKind::Terminate),
+                  static_cast<std::int64_t>(r.workers.size()))
+            << exec_model_name(model);
+    }
+}
+
+TEST(TraceIntegrationTest, SimulatorTraceOffByDefault) {
+    const sim::WorkloadTrace workload(std::vector<double>(100, 1e-5));
+    const auto r = simulate(sim::ExecModel::MpiMpi, sim::ClusterSpec{}, sim::SimConfig{},
+                            workload);
+    EXPECT_EQ(r.trace, nullptr);
+}
+
+}  // namespace

@@ -166,6 +166,21 @@ TEST(OnlineStatsTest, CovIsStddevOverMean) {
     EXPECT_NEAR(s.cov(), s.stddev() / 3.0, 1e-12);
 }
 
+TEST(OnlineStatsTest, CovOfNegativeMeanSeriesIsPositive) {
+    // Regression: cov() divided by the signed mean, so a negative-mean
+    // series reported a negative coefficient of variation. Dispersion must
+    // be sign-invariant: cov({-x}) == cov({x}).
+    OnlineStats neg;
+    OnlineStats pos;
+    for (const double v : {2.0, 4.0, 9.0}) {
+        neg.add(-v);
+        pos.add(v);
+    }
+    EXPECT_GT(neg.cov(), 0.0);
+    EXPECT_NEAR(neg.cov(), pos.cov(), 1e-12);
+    EXPECT_NEAR(neg.cov(), neg.stddev() / 5.0, 1e-12);  // |mean| = 5
+}
+
 // ------------------------------------------------------------------ Summary
 
 TEST(SummaryTest, PercentilesOfKnownSample) {
