@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_imbalance_crossover.dir/bench/bench_ablation_imbalance_crossover.cpp.o"
+  "CMakeFiles/bench_ablation_imbalance_crossover.dir/bench/bench_ablation_imbalance_crossover.cpp.o.d"
+  "bench_ablation_imbalance_crossover"
+  "bench_ablation_imbalance_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_imbalance_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lock_polling.dir/bench/bench_ablation_lock_polling.cpp.o"
+  "CMakeFiles/bench_ablation_lock_polling.dir/bench/bench_ablation_lock_polling.cpp.o.d"
+  "bench_ablation_lock_polling"
+  "bench_ablation_lock_polling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lock_polling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

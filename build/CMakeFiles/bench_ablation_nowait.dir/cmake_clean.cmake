@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nowait.dir/bench/bench_ablation_nowait.cpp.o"
+  "CMakeFiles/bench_ablation_nowait.dir/bench/bench_ablation_nowait.cpp.o.d"
+  "bench_ablation_nowait"
+  "bench_ablation_nowait.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nowait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ranks_per_node.dir/bench/bench_ablation_ranks_per_node.cpp.o"
+  "CMakeFiles/bench_ablation_ranks_per_node.dir/bench/bench_ablation_ranks_per_node.cpp.o.d"
+  "bench_ablation_ranks_per_node"
+  "bench_ablation_ranks_per_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ranks_per_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_timeline_illustration.dir/bench/bench_fig23_timeline_illustration.cpp.o"
+  "CMakeFiles/bench_fig23_timeline_illustration.dir/bench/bench_fig23_timeline_illustration.cpp.o.d"
+  "bench_fig23_timeline_illustration"
+  "bench_fig23_timeline_illustration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_timeline_illustration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

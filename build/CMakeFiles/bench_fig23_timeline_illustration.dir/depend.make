@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig23_timeline_illustration.
+# This may be replaced when dependencies are built.

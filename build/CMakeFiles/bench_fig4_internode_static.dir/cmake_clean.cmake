@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_internode_static.dir/bench/bench_fig4_internode_static.cpp.o"
+  "CMakeFiles/bench_fig4_internode_static.dir/bench/bench_fig4_internode_static.cpp.o.d"
+  "bench_fig4_internode_static"
+  "bench_fig4_internode_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_internode_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

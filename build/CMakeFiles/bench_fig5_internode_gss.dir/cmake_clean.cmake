@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_internode_gss.dir/bench/bench_fig5_internode_gss.cpp.o"
+  "CMakeFiles/bench_fig5_internode_gss.dir/bench/bench_fig5_internode_gss.cpp.o.d"
+  "bench_fig5_internode_gss"
+  "bench_fig5_internode_gss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_internode_gss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_internode_tss.dir/bench/bench_fig6_internode_tss.cpp.o"
+  "CMakeFiles/bench_fig6_internode_tss.dir/bench/bench_fig6_internode_tss.cpp.o.d"
+  "bench_fig6_internode_tss"
+  "bench_fig6_internode_tss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_internode_tss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_internode_fac2.
+# This may be replaced when dependencies are built.

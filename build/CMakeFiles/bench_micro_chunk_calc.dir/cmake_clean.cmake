@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_chunk_calc.dir/bench/bench_micro_chunk_calc.cpp.o"
+  "CMakeFiles/bench_micro_chunk_calc.dir/bench/bench_micro_chunk_calc.cpp.o.d"
+  "bench_micro_chunk_calc"
+  "bench_micro_chunk_calc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_chunk_calc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_queue_primitives.dir/bench/bench_micro_queue_primitives.cpp.o"
+  "CMakeFiles/bench_micro_queue_primitives.dir/bench/bench_micro_queue_primitives.cpp.o.d"
+  "bench_micro_queue_primitives"
+  "bench_micro_queue_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_queue_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

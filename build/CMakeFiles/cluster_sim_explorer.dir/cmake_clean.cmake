@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_sim_explorer.dir/examples/cluster_sim_explorer.cpp.o"
+  "CMakeFiles/cluster_sim_explorer.dir/examples/cluster_sim_explorer.cpp.o.d"
+  "cluster_sim_explorer"
+  "cluster_sim_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_sim_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

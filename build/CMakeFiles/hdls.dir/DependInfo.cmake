@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/mandelbrot.cpp" "CMakeFiles/hdls.dir/src/apps/mandelbrot.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/apps/mandelbrot.cpp.o.d"
+  "/root/repo/src/apps/psia.cpp" "CMakeFiles/hdls.dir/src/apps/psia.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/apps/psia.cpp.o.d"
+  "/root/repo/src/apps/synthetic.cpp" "CMakeFiles/hdls.dir/src/apps/synthetic.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/apps/synthetic.cpp.o.d"
+  "/root/repo/src/core/env_config.cpp" "CMakeFiles/hdls.dir/src/core/env_config.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/core/env_config.cpp.o.d"
+  "/root/repo/src/core/hybrid_executor.cpp" "CMakeFiles/hdls.dir/src/core/hybrid_executor.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/core/hybrid_executor.cpp.o.d"
+  "/root/repo/src/core/mpi_mpi_executor.cpp" "CMakeFiles/hdls.dir/src/core/mpi_mpi_executor.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/core/mpi_mpi_executor.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "CMakeFiles/hdls.dir/src/core/report.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/core/report.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "CMakeFiles/hdls.dir/src/core/runner.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/core/runner.cpp.o.d"
+  "/root/repo/src/dls/chunk_formulas.cpp" "CMakeFiles/hdls.dir/src/dls/chunk_formulas.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/dls/chunk_formulas.cpp.o.d"
+  "/root/repo/src/dls/params.cpp" "CMakeFiles/hdls.dir/src/dls/params.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/dls/params.cpp.o.d"
+  "/root/repo/src/dls/scheduler.cpp" "CMakeFiles/hdls.dir/src/dls/scheduler.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/dls/scheduler.cpp.o.d"
+  "/root/repo/src/dls/scheduler_factoring.cpp" "CMakeFiles/hdls.dir/src/dls/scheduler_factoring.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/dls/scheduler_factoring.cpp.o.d"
+  "/root/repo/src/dls/scheduler_simple.cpp" "CMakeFiles/hdls.dir/src/dls/scheduler_simple.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/dls/scheduler_simple.cpp.o.d"
+  "/root/repo/src/dls/scheduler_weighted.cpp" "CMakeFiles/hdls.dir/src/dls/scheduler_weighted.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/dls/scheduler_weighted.cpp.o.d"
+  "/root/repo/src/dls/technique.cpp" "CMakeFiles/hdls.dir/src/dls/technique.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/dls/technique.cpp.o.d"
+  "/root/repo/src/minimpi/comm.cpp" "CMakeFiles/hdls.dir/src/minimpi/comm.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/minimpi/comm.cpp.o.d"
+  "/root/repo/src/minimpi/mpi_compat.cpp" "CMakeFiles/hdls.dir/src/minimpi/mpi_compat.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/minimpi/mpi_compat.cpp.o.d"
+  "/root/repo/src/minimpi/runtime.cpp" "CMakeFiles/hdls.dir/src/minimpi/runtime.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/minimpi/runtime.cpp.o.d"
+  "/root/repo/src/minimpi/window.cpp" "CMakeFiles/hdls.dir/src/minimpi/window.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/minimpi/window.cpp.o.d"
+  "/root/repo/src/ompsim/schedule.cpp" "CMakeFiles/hdls.dir/src/ompsim/schedule.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/ompsim/schedule.cpp.o.d"
+  "/root/repo/src/ompsim/team.cpp" "CMakeFiles/hdls.dir/src/ompsim/team.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/ompsim/team.cpp.o.d"
+  "/root/repo/src/sim/engine_hybrid.cpp" "CMakeFiles/hdls.dir/src/sim/engine_hybrid.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/sim/engine_hybrid.cpp.o.d"
+  "/root/repo/src/sim/engine_shared_queue.cpp" "CMakeFiles/hdls.dir/src/sim/engine_shared_queue.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/sim/engine_shared_queue.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "CMakeFiles/hdls.dir/src/sim/report.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/sim/report.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "CMakeFiles/hdls.dir/src/sim/simulator.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "CMakeFiles/hdls.dir/src/sim/workload.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/sim/workload.cpp.o.d"
+  "/root/repo/src/trace/analysis.cpp" "CMakeFiles/hdls.dir/src/trace/analysis.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/trace/analysis.cpp.o.d"
+  "/root/repo/src/trace/export.cpp" "CMakeFiles/hdls.dir/src/trace/export.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/trace/export.cpp.o.d"
+  "/root/repo/src/trace/recorder.cpp" "CMakeFiles/hdls.dir/src/trace/recorder.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/trace/recorder.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "CMakeFiles/hdls.dir/src/trace/trace.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/trace/trace.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "CMakeFiles/hdls.dir/src/util/cli.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/util/cli.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "CMakeFiles/hdls.dir/src/util/log.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/hdls.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/hdls.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/hdls.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/hdls.dir/src/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

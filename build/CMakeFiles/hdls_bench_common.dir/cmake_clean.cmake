@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdls_bench_common.dir/bench/common/figure.cpp.o"
+  "CMakeFiles/hdls_bench_common.dir/bench/common/figure.cpp.o.d"
+  "CMakeFiles/hdls_bench_common.dir/bench/common/workloads.cpp.o"
+  "CMakeFiles/hdls_bench_common.dir/bench/common/workloads.cpp.o.d"
+  "libhdls_bench_common.a"
+  "libhdls_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdls_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

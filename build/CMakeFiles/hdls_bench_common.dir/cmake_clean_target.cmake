@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhdls_bench_common.a"
+)

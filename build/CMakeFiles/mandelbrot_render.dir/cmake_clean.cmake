@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mandelbrot_render.dir/examples/mandelbrot_render.cpp.o"
+  "CMakeFiles/mandelbrot_render.dir/examples/mandelbrot_render.cpp.o.d"
+  "mandelbrot_render"
+  "mandelbrot_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mandelbrot_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psia_spinimages.dir/examples/psia_spinimages.cpp.o"
+  "CMakeFiles/psia_spinimages.dir/examples/psia_spinimages.cpp.o.d"
+  "psia_spinimages"
+  "psia_spinimages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psia_spinimages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

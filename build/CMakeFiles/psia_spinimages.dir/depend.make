@@ -1,0 +1,2 @@
+# Empty dependencies file for psia_spinimages.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps.dir/tests/test_apps.cpp.o"
+  "CMakeFiles/test_apps.dir/tests/test_apps.cpp.o.d"
+  "test_apps"
+  "test_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dls.dir/tests/test_dls.cpp.o"
+  "CMakeFiles/test_dls.dir/tests/test_dls.cpp.o.d"
+  "test_dls"
+  "test_dls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minimpi.dir/tests/test_minimpi.cpp.o"
+  "CMakeFiles/test_minimpi.dir/tests/test_minimpi.cpp.o.d"
+  "test_minimpi"
+  "test_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mpi_compat.
+# This may be replaced when dependencies are built.

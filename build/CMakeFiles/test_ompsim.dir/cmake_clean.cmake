@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ompsim.dir/tests/test_ompsim.cpp.o"
+  "CMakeFiles/test_ompsim.dir/tests/test_ompsim.cpp.o.d"
+  "test_ompsim"
+  "test_ompsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ompsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[test_apps]=] "/root/repo/build/test_apps")
+set_tests_properties([=[test_apps]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;81;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_bench_workloads]=] "/root/repo/build/test_bench_workloads")
+set_tests_properties([=[test_bench_workloads]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;81;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_core]=] "/root/repo/build/test_core")
+set_tests_properties([=[test_core]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;81;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_dls]=] "/root/repo/build/test_dls")
+set_tests_properties([=[test_dls]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;81;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_integration]=] "/root/repo/build/test_integration")
+set_tests_properties([=[test_integration]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;81;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_minimpi]=] "/root/repo/build/test_minimpi")
+set_tests_properties([=[test_minimpi]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;81;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_mpi_compat]=] "/root/repo/build/test_mpi_compat")
+set_tests_properties([=[test_mpi_compat]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;81;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_ompsim]=] "/root/repo/build/test_ompsim")
+set_tests_properties([=[test_ompsim]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;81;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_sim]=] "/root/repo/build/test_sim")
+set_tests_properties([=[test_sim]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;81;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_trace]=] "/root/repo/build/test_trace")
+set_tests_properties([=[test_trace]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;81;add_test;/root/repo/CMakeLists.txt;0;")
+add_test([=[test_util]=] "/root/repo/build/test_util")
+set_tests_properties([=[test_util]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;81;add_test;/root/repo/CMakeLists.txt;0;")
