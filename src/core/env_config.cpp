@@ -87,10 +87,14 @@ HierConfig schedule_from_env(const HierConfig& fallback) {
         return fallback;
     }
     if (const auto cfg = parse_schedule(value)) {
-        HierConfig merged = *cfg;
-        merged.allow_extended_openmp_schedules = fallback.allow_extended_openmp_schedules;
-        merged.trace = fallback.trace;
-        merged.trace_capacity = fallback.trace_capacity;
+        // The env var expresses the *schedule* (inter, intra, min_chunk);
+        // every other field — tracing, extension schedules, WF node
+        // weights, FAC inputs, whatever is added next — keeps the
+        // program's configuration.
+        HierConfig merged = fallback;
+        merged.inter = cfg->inter;
+        merged.intra = cfg->intra;
+        merged.min_chunk = cfg->min_chunk;
         return merged;
     }
     util::log_warn("HDLS_SCHEDULE='", value, "' is malformed; using ",

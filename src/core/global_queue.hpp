@@ -20,19 +20,16 @@
 #include <cstdint>
 #include <optional>
 
+#include "core/inter_queue.hpp"
 #include "dls/chunk_formulas.hpp"
 #include "minimpi/minimpi.hpp"
 
 namespace hdls::core {
 
-class GlobalWorkQueue {
+class GlobalWorkQueue final : public InterQueue {
 public:
     /// One level-1 chunk.
-    struct Chunk {
-        std::int64_t start = 0;
-        std::int64_t size = 0;
-        std::int64_t step = 0;
-    };
+    using Chunk = InterQueue::Chunk;
 
     /// Collective over `comm`. `level_workers` is P in the chunk formulas
     /// (the paper uses the node count). Rank 0 hosts and zero-initializes
@@ -61,7 +58,7 @@ public:
     }
 
     /// Acquires the next chunk, or std::nullopt once the loop is exhausted.
-    [[nodiscard]] std::optional<Chunk> try_acquire() {
+    [[nodiscard]] std::optional<Chunk> try_acquire() override {
         const std::int64_t step =
             window_.fetch_and_op<std::int64_t>(1, 0, kStep, minimpi::AccumulateOp::Sum);
         const std::int64_t hint = dls::chunk_size_for_step(technique_, params_, step);
@@ -78,12 +75,12 @@ public:
     }
 
     /// Chunks acquired through *this* handle (per-rank statistic).
-    [[nodiscard]] std::int64_t acquired() const noexcept { return acquired_; }
+    [[nodiscard]] std::int64_t acquired() const noexcept override { return acquired_; }
 
-    [[nodiscard]] dls::Technique technique() const noexcept { return technique_; }
+    [[nodiscard]] dls::Technique technique() const noexcept override { return technique_; }
 
     /// Collective teardown.
-    void free() {
+    void free() override {
         comm_.barrier();
         window_.free();
     }

@@ -17,8 +17,10 @@
 ///                                    });
 ///   report.print(std::cout);
 
+#include "core/adaptive_queue.hpp"    // IWYU pragma: export
 #include "core/env_config.hpp"        // IWYU pragma: export
 #include "core/global_queue.hpp"      // IWYU pragma: export
+#include "core/inter_queue.hpp"       // IWYU pragma: export
 #include "core/hybrid_executor.hpp"   // IWYU pragma: export
 #include "core/local_queue.hpp"       // IWYU pragma: export
 #include "core/mpi_mpi_executor.hpp"  // IWYU pragma: export

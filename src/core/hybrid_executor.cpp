@@ -4,7 +4,7 @@
 #include <optional>
 #include <string>
 
-#include "core/global_queue.hpp"
+#include "core/adaptive_queue.hpp"
 #include "ompsim/team.hpp"
 
 namespace hdls::core {
@@ -42,7 +42,10 @@ std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx, int threads_per_
     const ompsim::ForOptions schedule = intra_schedule_or_throw(cfg);
     const minimpi::Comm& world = ctx.world();
 
-    GlobalWorkQueue global(world, n, cfg.inter, world.size(), cfg.min_chunk);
+    // One rank per node: the world size is the node count and this rank's
+    // id is its node id, so the feedback slot is just ctx.node().
+    const auto global = make_inter_queue(world, n, cfg, world.size(), ctx.node());
+    const bool feedback = global->wants_feedback();
     ompsim::ThreadTeam team(threads_per_node);
 
     std::vector<WorkerStats> stats(static_cast<std::size_t>(threads_per_node));
@@ -60,7 +63,12 @@ std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx, int threads_per_
     const Clock::time_point t0 = Clock::now();
 
     // Shared between the team's threads within the region below.
-    std::optional<GlobalWorkQueue::Chunk> current;
+    std::optional<InterQueue::Chunk> current;
+    // Feedback bookkeeping (master thread only): the previous chunk's
+    // bounds, when its execution started, and the acquire time that
+    // obtained it (the overhead AWF-D/E fold into their rates).
+    Clock::time_point chunk_t0 = t0;
+    double acquire_seconds = 0.0;
 
     team.parallel([&](int tid) {
         auto& mine = stats[static_cast<std::size_t>(tid)];
@@ -68,9 +76,22 @@ std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx, int threads_per_
         const bool tracing = tracer.enabled();
         for (;;) {
             if (tid == 0) {
-                // Funneled model: only the master thread talks to MPI.
+                // The join barrier below serialized the team, so the
+                // previous chunk is fully executed here: report it before
+                // fetching the next (funneled model — master talks to MPI).
+                if (feedback && current) {
+                    const double elapsed = seconds_since(chunk_t0);
+                    global->report(current->size, elapsed, acquire_seconds);
+                    if (tracing) {
+                        tracer.instant(trace::EventKind::FeedbackReport, tracer.now(),
+                                       current->size, dls::feedback_ns(elapsed));
+                    }
+                }
                 const double acq_t0 = tracing ? tracer.now() : 0.0;
-                current = global.try_acquire();
+                const Clock::time_point a0 = Clock::now();
+                current = global->try_acquire();
+                acquire_seconds = seconds_since(a0);
+                chunk_t0 = Clock::now();
                 if (tracing) {
                     tracer.record(trace::EventKind::GlobalAcquire, acq_t0, tracer.now(),
                                   current ? current->start : 0, current ? current->size : 0);
@@ -128,7 +149,7 @@ std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx, int threads_per_
         mine.finish_seconds = seconds_since(t0);
     });
 
-    global.free();
+    global->free();
     return stats;
 }
 

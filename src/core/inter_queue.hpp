@@ -1,0 +1,72 @@
+#pragma once
+/// \file inter_queue.hpp
+/// Interface of the inter-node (level-1) work queue and its factory.
+///
+/// Two implementations exist, both masterless and both hosted on rank 0 of
+/// the communicator as a passive-target RMA window:
+///  * GlobalWorkQueue — the paper's step-indexed distributed chunk
+///    calculation (STATIC, SS, FSC, GSS, TSS, FAC2, TFSS, RND);
+///  * AdaptiveGlobalQueue — the remaining-count/feedback form serving FAC,
+///    WF and AWF-B/C/D/E (adaptive_queue.hpp).
+/// The factory picks by dls::supports_step_indexed /
+/// dls::supports_remaining_based, so executors schedule any inter-node
+/// technique through one interface.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/types.hpp"
+#include "dls/technique.hpp"
+#include "minimpi/minimpi.hpp"
+
+namespace hdls::core {
+
+class InterQueue {
+public:
+    /// One level-1 chunk.
+    struct Chunk {
+        std::int64_t start = 0;
+        std::int64_t size = 0;
+        std::int64_t step = 0;
+    };
+
+    virtual ~InterQueue() = default;
+
+    /// Acquires the next chunk, or std::nullopt once the loop is exhausted.
+    [[nodiscard]] virtual std::optional<Chunk> try_acquire() = 0;
+
+    /// Runtime feedback for the adaptive techniques: executed iterations
+    /// with their compute and scheduling-overhead time, accumulated into
+    /// the caller's node rate. No-op for non-adaptive queues.
+    virtual void report(std::int64_t iterations, double compute_seconds,
+                        double overhead_seconds) {
+        (void)iterations;
+        (void)compute_seconds;
+        (void)overhead_seconds;
+    }
+
+    /// True when report() calls influence future chunk sizes (AWF-*); lets
+    /// executors skip the feedback timing entirely otherwise.
+    [[nodiscard]] virtual bool wants_feedback() const noexcept { return false; }
+
+    /// Chunks acquired through *this* handle (per-rank statistic).
+    [[nodiscard]] virtual std::int64_t acquired() const noexcept = 0;
+
+    [[nodiscard]] virtual dls::Technique technique() const noexcept = 0;
+
+    /// Collective teardown.
+    virtual void free() = 0;
+};
+
+/// Creates the level-1 queue for `cfg.inter`. Collective over `comm`.
+/// `level_workers` is P in the chunk formulas (the paper uses the node
+/// count) and `node` the caller's level-1 entity id in [0, level_workers)
+/// — the feedback slot adaptive techniques accumulate into.
+/// Throws minimpi::Error for techniques with no distributed form.
+[[nodiscard]] std::unique_ptr<InterQueue> make_inter_queue(const minimpi::Comm& comm,
+                                                           std::int64_t total_iterations,
+                                                           const HierConfig& cfg,
+                                                           int level_workers, int node);
+
+}  // namespace hdls::core

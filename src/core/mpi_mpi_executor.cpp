@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "core/adaptive_queue.hpp"
 #include "core/global_queue.hpp"
 #include "core/local_queue.hpp"
 
@@ -14,6 +15,7 @@ using Clock = std::chrono::steady_clock;
 [[nodiscard]] double seconds_since(Clock::time_point t0) {
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
+
 }  // namespace
 
 WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierConfig& cfg,
@@ -22,7 +24,7 @@ WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierCo
     // MPI_Comm_split_type(MPI_COMM_TYPE_SHARED): the ranks of my node.
     const minimpi::Comm node = world.split_type(minimpi::SplitType::Shared, world.rank());
 
-    GlobalWorkQueue global(world, n, cfg.inter, ctx.nodes(), cfg.min_chunk);
+    const auto global = make_inter_queue(world, n, cfg, ctx.nodes(), ctx.node());
     NodeWorkQueue local(node, cfg.intra, cfg.min_chunk);
 
     WorkerStats stats;
@@ -30,9 +32,38 @@ WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierCo
     stats.worker_in_node = node.rank();
 
     const bool tracing = tracer.enabled();
+    const bool feedback = global->wants_feedback();
 
     world.barrier();  // common start line
     const Clock::time_point t0 = Clock::now();
+
+    // Adaptive feedback is accumulated locally per executed sub-chunk and
+    // flushed (three fetch-and-op sums) only when it can influence a
+    // scheduling decision — right before a global acquire, and once at
+    // termination. Reporting per sub-chunk would put per-iteration RMA
+    // traffic on the rank-0 window under fine-grained intra techniques.
+    // `sched_mark` is where the current scheduling span began (loop start
+    // or the previous body's end), so the span up to the body's start is
+    // the chunk's attributable overhead — the quantity AWF-D/E fold into
+    // their rates.
+    Clock::time_point sched_mark = t0;
+    std::int64_t pending_iters = 0;
+    double pending_busy = 0.0;
+    double pending_overhead = 0.0;
+
+    const auto flush_feedback = [&] {
+        if (!feedback || pending_iters == 0) {
+            return;
+        }
+        global->report(pending_iters, pending_busy, pending_overhead);
+        if (tracing) {
+            tracer.instant(trace::EventKind::FeedbackReport, tracer.now(), pending_iters,
+                           dls::feedback_ns(pending_busy));
+        }
+        pending_iters = 0;
+        pending_busy = 0.0;
+        pending_overhead = 0.0;
+    };
 
     const auto execute = [&](const NodeWorkQueue::SubChunk& sc) {
         if (tracing) {
@@ -40,11 +71,19 @@ WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierCo
         }
         const Clock::time_point b0 = Clock::now();
         body(sc.begin, sc.end);
-        stats.busy_seconds += seconds_since(b0);
+        const Clock::time_point b1 = Clock::now();
+        const double busy = std::chrono::duration<double>(b1 - b0).count();
+        stats.busy_seconds += busy;
         stats.iterations += sc.end - sc.begin;
         ++stats.chunks;
         if (tracing) {
             tracer.instant(trace::EventKind::ChunkExecEnd, tracer.now(), sc.begin, sc.end);
+        }
+        if (feedback) {
+            pending_iters += sc.end - sc.begin;
+            pending_busy += busy;
+            pending_overhead += std::chrono::duration<double>(b0 - sched_mark).count();
+            sched_mark = b1;
         }
     };
 
@@ -87,8 +126,9 @@ WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierCo
         if (record_probe) {
             tracer.instant(trace::EventKind::RefillBegin, tracer.now());
         }
+        flush_feedback();  // publish rates before the next level-1 decision
         const double acq_t0 = tracing ? tracer.now() : 0.0;
-        if (const auto chunk = global.try_acquire()) {
+        if (const auto chunk = global->try_acquire()) {
             if (tracing) {
                 close_wait(acq_t0);
                 tracer.record(trace::EventKind::GlobalAcquire, acq_t0, tracer.now(),
@@ -130,6 +170,7 @@ WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierCo
         }
         std::this_thread::yield();
     }
+    flush_feedback();  // final accounting for chunks executed since the last refill
     close_wait(tracer.now());
     if (tracing) {
         tracer.instant(trace::EventKind::Terminate, tracer.now());
@@ -138,7 +179,7 @@ WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierCo
     stats.finish_seconds = seconds_since(t0);
 
     local.free();
-    global.free();
+    global->free();
     return stats;
 }
 

@@ -22,11 +22,27 @@ void validate_combination(const ClusterShape& shape, Approach approach, const Hi
     if (cfg.min_chunk < 1) {
         throw std::invalid_argument("run_hierarchical: min_chunk must be >= 1");
     }
-    if (!dls::supports_step_indexed(cfg.inter)) {
+    if (!dls::supports_internode(cfg.inter)) {
         throw std::invalid_argument(
             std::string("run_hierarchical: inter-node technique ") +
             std::string(dls::technique_name(cfg.inter)) +
-            " lacks a step-indexed form (required by the distributed chunk calculation)");
+            " has neither a step-indexed nor a remaining-count-based distributed form");
+    }
+    if (!cfg.node_weights.empty() &&
+        cfg.node_weights.size() != static_cast<std::size_t>(shape.nodes)) {
+        throw std::invalid_argument(
+            "run_hierarchical: node_weights size must equal the node count");
+    }
+    for (const double w : cfg.node_weights) {
+        if (w < 0.0) {
+            throw std::invalid_argument("run_hierarchical: node_weights must be >= 0");
+        }
+    }
+    if (cfg.fac_sigma < 0.0) {
+        throw std::invalid_argument("run_hierarchical: fac_sigma must be >= 0");
+    }
+    if (cfg.fac_mu <= 0.0) {
+        throw std::invalid_argument("run_hierarchical: fac_mu must be > 0");
     }
     switch (approach) {
         case Approach::MpiMpi:

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "dls/technique.hpp"
 
@@ -56,6 +57,15 @@ struct HierConfig {
     /// Per-worker trace ring-buffer capacity in events (rounded up to a
     /// power of two). Overflow drops events and counts the drops.
     std::size_t trace_capacity = 1 << 14;
+    /// Static per-node speeds for WF at the inter-node level (empty = all
+    /// equal). When non-empty the size must equal the node count; only
+    /// ratios matter. Ignored by every other technique.
+    std::vector<double> node_weights;
+    /// FAC probabilistic inputs: stddev and mean of the per-iteration
+    /// execution time (seconds). The defaults degenerate FAC to a single
+    /// bootstrap batch, matching the theory for variance-free loops.
+    double fac_sigma = 0.0;
+    double fac_mu = 1.0;
 };
 
 /// Loop body executed chunk-wise. MUST be thread-safe across disjoint

@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "dls/adaptive.hpp"
 #include "dls/chunk_formulas.hpp"
 #include "dls/scheduler_base.hpp"
 
@@ -59,12 +60,10 @@ public:
 
 private:
     std::int64_t batch_chunk_size(std::int64_t remaining_iters) override {
-        const auto& p = params();
-        const auto workers = static_cast<double>(p.workers);
         const auto r = static_cast<double>(remaining_iters);
-        const double b = (workers * p.sigma) / (2.0 * std::sqrt(r) * p.mu);
-        const double x = 1.0 + b * b + b * std::sqrt(b * b + 2.0);
-        return static_cast<std::int64_t>(std::ceil(r / (x * workers)));
+        const double x = fac_batch_factor(params(), remaining_iters);
+        return static_cast<std::int64_t>(
+            std::ceil(r / (x * static_cast<double>(params().workers))));
     }
 };
 

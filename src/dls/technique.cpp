@@ -98,6 +98,24 @@ bool supports_step_indexed(Technique t) noexcept {
     return false;
 }
 
+bool supports_remaining_based(Technique t) noexcept {
+    switch (t) {
+        case Technique::FAC:  // needs the exact remaining-iterations count
+        case Technique::WF:   // FAC2 batches scaled by static node weights
+        case Technique::AWFB:
+        case Technique::AWFC:
+        case Technique::AWFD:
+        case Technique::AWFE:
+            return true;
+        default:
+            return false;
+    }
+}
+
+bool supports_internode(Technique t) noexcept {
+    return supports_step_indexed(t) || supports_remaining_based(t);
+}
+
 const std::vector<Technique>& all_techniques() {
     static const std::vector<Technique> kAll = {
         Technique::Static, Technique::SS,   Technique::FSC,  Technique::GSS,  Technique::TSS,

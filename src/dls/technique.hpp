@@ -50,6 +50,19 @@ enum class Technique {
 /// excluded.
 [[nodiscard]] bool supports_step_indexed(Technique t) noexcept;
 
+/// True if the technique has a *remaining-count-based* distributed form: the
+/// chunk size is computable from the exact remaining-iterations count (a
+/// CAS-protected window cell) plus, for the weighted family, the requester's
+/// current weight (static for WF, derived from the per-node feedback region
+/// for AWF-B/C/D/E). These techniques are servable at the inter-node level
+/// through the adaptive global queue — still no master process.
+[[nodiscard]] bool supports_remaining_based(Technique t) noexcept;
+
+/// True if the technique is usable at the inter-node (first) level under
+/// the distributed protocol, through either form:
+/// supports_step_indexed(t) || supports_remaining_based(t).
+[[nodiscard]] bool supports_internode(Technique t) noexcept;
+
 /// All techniques, in declaration order.
 [[nodiscard]] const std::vector<Technique>& all_techniques();
 

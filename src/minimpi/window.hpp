@@ -192,6 +192,28 @@ public:
         return exp;  // previous value whether or not the swap happened
     }
 
+    /// CAS-retry transform: atomically replaces the element with
+    /// `f(current)` and returns the value the update was applied to. Built
+    /// from compare_and_swap exactly as an MPI program would loop
+    /// MPI_Compare_and_swap; `f` may be evaluated several times under
+    /// contention and must be side-effect free. This is the primitive behind
+    /// the adaptive queue's remaining-iterations cell, where the new value
+    /// depends on the old (new = old - chunk(old)).
+    template <Pod T, typename F>
+    T atomic_update(int target_rank, std::size_t elem_offset, F&& f) const
+        requires std::is_integral_v<T>
+    {
+        T old = atomic_read<T>(target_rank, elem_offset);
+        for (;;) {
+            const T desired = static_cast<T>(f(old));
+            const T prev = compare_and_swap<T>(old, desired, target_rank, elem_offset);
+            if (prev == old) {
+                return old;
+            }
+            old = prev;
+        }
+    }
+
     // ------------------------------------------------------------ put/get --
 
     /// Copies into the target segment. Not atomic: the caller must hold an

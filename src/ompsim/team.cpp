@@ -37,7 +37,15 @@ ThreadTeam::~ThreadTeam() {
         }
     }
     region_cv_.notify_all();
-    // std::jthread joins automatically.
+    // Join explicitly: `workers_` is declared before the condition
+    // variables, so relying on std::jthread's auto-join would destroy the
+    // cvs first and a worker still inside notify_all would touch a dead
+    // object (caught by TSan).
+    for (auto& w : workers_) {
+        if (w.joinable()) {
+            w.join();
+        }
+    }
 }
 
 void ThreadTeam::worker_main(int thread_id, const std::stop_token& stop) {

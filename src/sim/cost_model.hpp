@@ -19,7 +19,9 @@
 ///    paper: "the scheduling overhead associated with using MPI shared-
 ///    memory to implement DLS techniques is higher than OpenMP".
 
+#include <cstddef>
 #include <stdexcept>
+#include <vector>
 
 namespace hdls::sim {
 
@@ -75,12 +77,32 @@ struct ClusterSpec {
     int nodes = 2;
     int workers_per_node = 16;
     CostModel costs{};
+    /// Relative per-node execution speeds (empty = all 1.0): a node with
+    /// speed 0.5 executes every iteration twice as slowly. Models the
+    /// heterogeneous/perturbed clusters the adaptive techniques target.
+    std::vector<double> node_speed;
 
     [[nodiscard]] int total_workers() const noexcept { return nodes * workers_per_node; }
+
+    /// Execution-speed factor of `node` (compute time = cost / speed).
+    [[nodiscard]] double speed(int node) const noexcept {
+        return node_speed.empty() ? 1.0 : node_speed[static_cast<std::size_t>(node)];
+    }
 
     void validate() const {
         if (nodes < 1 || workers_per_node < 1) {
             throw std::invalid_argument("ClusterSpec: shape must be positive");
+        }
+        if (!node_speed.empty()) {
+            if (node_speed.size() != static_cast<std::size_t>(nodes)) {
+                throw std::invalid_argument(
+                    "ClusterSpec: node_speed size must equal the node count");
+            }
+            for (const double s : node_speed) {
+                if (!(s > 0.0)) {
+                    throw std::invalid_argument("ClusterSpec: node speeds must be > 0");
+                }
+            }
         }
         costs.validate();
     }

@@ -15,6 +15,7 @@
 #include "dls/chunk_formulas.hpp"
 #include "sim/engine_trace.hpp"
 #include "sim/engines.hpp"
+#include "sim/inter_source.hpp"
 #include "sim/resources.hpp"
 
 namespace hdls::sim::detail {
@@ -64,11 +65,12 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
     inter_params.total_iterations = n;
     inter_params.workers = cluster.nodes;
     inter_params.min_chunk = config.min_chunk;
+    inter_params.sigma = config.fac_sigma;
+    inter_params.mu = config.fac_mu;
 
-    std::int64_t g_step = 0;
-    std::int64_t g_scheduled = 0;
     bool g_exhausted = false;
     FcfsResource g_server(costs.global_service_s());
+    InterChunkSource source(config.inter, inter_params, cluster.nodes, config.inter_weights);
 
     const auto global_op = [&](double t) {
         const double at_target = t + costs.rma_s() / 2.0;
@@ -121,7 +123,8 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
                 const std::int64_t len = base + (tid < extra ? 1 : 0);
                 if (len > 0) {
                     SimWorker& w = worker_of(node, tid);
-                    const double compute = workload.range_cost(begin, begin + len);
+                    const double compute =
+                        workload.range_cost(begin, begin + len) / cluster.speed(node);
                     w.busy += compute;
                     w.overhead += costs.chunk_overhead_s();
                     w.iterations += len;
@@ -187,7 +190,8 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
             const std::int64_t take = std::min(hint, size - scheduled);
             const std::int64_t begin = start + scheduled;
             scheduled += take;
-            const double compute = workload.range_cost(begin, begin + take);
+            const double compute =
+                workload.range_cost(begin, begin + take) / cluster.speed(node);
             w.busy += compute;
             w.overhead += costs.chunk_overhead_s();
             w.iterations += take;
@@ -220,10 +224,10 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
         const double t0 = nr.clock[0];
         auto& master_tracer = engine_trace.tracer(ev.node * team);
         std::optional<std::pair<std::int64_t, std::int64_t>> chunk;
+        double fetch_overhead = 0.0;
         if (!g_exhausted) {
             const double t1 = global_op(t0);
-            const std::int64_t step = g_step++;
-            const std::int64_t hint = dls::chunk_size_for_step(config.inter, inter_params, step);
+            const std::int64_t hint = source.probe(ev.node);
             if (hint <= 0) {
                 g_exhausted = true;
                 master.overhead += t1 - t0;
@@ -233,17 +237,17 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
                 }
             } else {
                 const double t2 = global_op(t1);
-                const std::int64_t start = g_scheduled;
-                g_scheduled += hint;
+                const auto take = source.commit(hint);
                 master.overhead += t2 - t0;
+                fetch_overhead = t2 - t0;
                 nr.clock[0] = t2;
-                if (start >= n) {
+                if (!take) {
                     g_exhausted = true;
                     if (master_tracer.enabled()) {
                         master_tracer.record(trace::EventKind::GlobalAcquire, t0, t2, 0, 0);
                     }
                 } else {
-                    chunk = std::pair{start, std::min(hint, n - start)};
+                    chunk = std::pair{take->start, take->size};
                     ++master.global_refills;
                     if (master_tracer.enabled()) {
                         master_tracer.record(trace::EventKind::GlobalAcquire, t0, t2,
@@ -270,7 +274,17 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
         }
 
         workshare(ev.node, chunk->first, chunk->second);
-        const double joined = barrier(ev.node);  // the implicit barrier
+        double joined = barrier(ev.node);  // the implicit barrier
+        if (source.wants_feedback()) {
+            // The master posts the chunk's feedback before the next fetch:
+            // the node's wall time for the chunk is its rate denominator.
+            // Priced as the real report(): three accumulator RMA updates.
+            source.report(ev.node, chunk->second, joined - published, fetch_overhead);
+            const double flush = 3.0 * costs.rma_s();
+            master.overhead += flush;
+            nr.clock[0] += flush;
+            joined += flush;
+        }
         events.push({joined, ev.node});
     }
 

@@ -16,6 +16,7 @@
 #include "dls/chunk_formulas.hpp"
 #include "sim/engine_trace.hpp"
 #include "sim/engines.hpp"
+#include "sim/inter_source.hpp"
 #include "sim/resources.hpp"
 
 namespace hdls::sim::detail {
@@ -45,8 +46,6 @@ struct NodeState {
 struct GlobalState {
     explicit GlobalState(const CostModel& costs) : server(costs.global_service_s()) {}
 
-    std::int64_t step = 0;
-    std::int64_t scheduled = 0;
     bool exhausted = false;
     FcfsResource server;
 };
@@ -108,9 +107,12 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
     inter_params.total_iterations = n;
     inter_params.workers = cluster.nodes;
     inter_params.min_chunk = config.min_chunk;
+    inter_params.sigma = config.fac_sigma;
+    inter_params.mu = config.fac_mu;
 
     std::vector<NodeState> nodes(static_cast<std::size_t>(cluster.nodes), NodeState(costs));
     GlobalState global(costs);
+    InterChunkSource source(config.inter, inter_params, cluster.nodes, config.inter_weights);
 
     // Retry period of a worker that must wait for work to appear without a
     // known wake-up time (nowait non-masters): the natural software poll.
@@ -165,6 +167,9 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
     // the first empty-handed wake-up to the wake-up that found work (or
     // terminated), mirroring the real executor's recording.
     std::vector<double> wait_from(static_cast<std::size_t>(total_workers), -1.0);
+    // Per-worker "accumulated feedback not yet flushed" flag, mirroring
+    // the real executor's flush-before-refill cadence.
+    std::vector<char> feedback_pending(static_cast<std::size_t>(total_workers), 0);
 
     int finished = 0;
     while (finished < total_workers) {
@@ -190,7 +195,8 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
         w.overhead += acc.released - t;
         if (const auto sub = pop_visible(node, acc.granted)) {
             close_wait(t);
-            const double compute = workload.range_cost(sub->first, sub->second);
+            const double compute =
+                workload.range_cost(sub->first, sub->second) / cluster.speed(w.node);
             w.busy += compute;
             w.overhead += costs.chunk_overhead_s();
             w.iterations += sub->second - sub->first;
@@ -204,6 +210,13 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
                 tracer.instant(trace::EventKind::ChunkExecEnd, exec0 + compute, sub->first,
                                sub->second);
             }
+            if (source.wants_feedback()) {
+                // Local accumulation in the real executor: free here; the
+                // flush is priced at the next refill.
+                source.report(w.node, sub->second - sub->first, compute,
+                              acc.released - t + costs.chunk_overhead_s());
+                feedback_pending[static_cast<std::size_t>(ev.worker)] = 1;
+            }
             events.push({acc.released + costs.chunk_overhead_s() + compute, ev.worker});
             continue;
         }
@@ -216,13 +229,20 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
         // ---- stage 1: queue drained; refill from the global queue -------
         const bool may_refill = any_rank_refills || w.worker_in_node == 0;
         if (may_refill && !global.exhausted) {
+            if (feedback_pending[static_cast<std::size_t>(ev.worker)] != 0) {
+                // Pre-acquire feedback flush: three accumulator RMA updates
+                // (the AWF weight-refresh reads ride the two priced global
+                // ops below — a deliberate simplification).
+                const double flush = 3.0 * costs.rma_s();
+                w.overhead += flush;
+                now += flush;
+                feedback_pending[static_cast<std::size_t>(ev.worker)] = 0;
+            }
             if (record_probe) {
                 tracer.instant(trace::EventKind::RefillBegin, now);
             }
             const double t1 = global_op(global, costs, now);
-            const std::int64_t step = global.step++;
-            const std::int64_t hint =
-                dls::chunk_size_for_step(config.inter, inter_params, step);
+            const std::int64_t hint = source.probe(w.node);
             if (hint <= 0) {
                 global.exhausted = true;
                 w.overhead += t1 - now;
@@ -233,10 +253,9 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
                 now = t1;
             } else {
                 const double t2 = global_op(global, costs, t1);
-                const std::int64_t start = global.scheduled;
-                global.scheduled += hint;
+                const auto take = source.commit(hint);
                 w.overhead += t2 - now;
-                if (start >= n) {
+                if (!take) {
                     global.exhausted = true;
                     if (record_probe) {
                         tracer.record(trace::EventKind::GlobalAcquire, now, t2, 0, 0);
@@ -244,7 +263,8 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
                     }
                     now = t2;
                 } else {
-                    const std::int64_t size = std::min(hint, n - start);
+                    const std::int64_t start = take->start;
+                    const std::int64_t size = take->size;
                     ++w.global_refills;
                     close_wait(now);
                     if (tracing) {
@@ -260,7 +280,9 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
                     const auto sub = pop_visible(node, push.released);
                     // The fresh chunk is visible to us inside the epoch.
                     const double compute =
-                        sub ? workload.range_cost(sub->first, sub->second) : 0.0;
+                        sub ? workload.range_cost(sub->first, sub->second) /
+                                  cluster.speed(w.node)
+                            : 0.0;
                     if (sub) {
                         w.busy += compute;
                         w.overhead += costs.chunk_overhead_s();
@@ -280,6 +302,11 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
                             tracer.instant(trace::EventKind::ChunkExecEnd, exec0 + compute,
                                            sub->first, sub->second);
                         }
+                    }
+                    if (sub && source.wants_feedback()) {
+                        source.report(w.node, sub->second - sub->first, compute,
+                                      push.released - now + costs.chunk_overhead_s());
+                        feedback_pending[static_cast<std::size_t>(ev.worker)] = 1;
                     }
                     events.push(
                         {push.released + costs.chunk_overhead_s() + compute, ev.worker});

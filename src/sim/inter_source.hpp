@@ -1,0 +1,120 @@
+#pragma once
+/// \file inter_source.hpp
+/// Virtual-time inter-node chunk source shared by both simulation engines.
+///
+/// Mirrors the real level-1 queues behind one protocol with two RMA-priced
+/// steps per acquisition, so the engines charge identical virtual-time
+/// costs for both forms:
+///  * step-indexed (GlobalWorkQueue): probe = step fetch-and-op + local
+///    formula; commit = scheduled fetch-and-op + clamp;
+///  * remaining-based (AdaptiveGlobalQueue): probe = feedback read + weight
+///    derivation + size hint from the exact remaining count; commit = the
+///    CAS on the remaining cell (which always succeeds here: the engines
+///    serialize global accesses in virtual-time order).
+///
+/// Adaptive feedback (report) is accounted at event-processing time, which
+/// can precede the sub-chunk's virtual completion; the accumulated rates
+/// are identical, the adaptation is merely visible one transaction earlier
+/// than on a real machine. Determinism is unaffected.
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dls/adaptive.hpp"
+#include "dls/chunk_formulas.hpp"
+
+namespace hdls::sim::detail {
+
+class InterChunkSource {
+public:
+    struct Take {
+        std::int64_t start = 0;
+        std::int64_t size = 0;
+        std::int64_t step = 0;
+    };
+
+    InterChunkSource(dls::Technique technique, const dls::LoopParams& params, int nodes,
+                     const std::vector<double>& wf_weights)
+        : tech_(technique),
+          params_(params),
+          total_(params.total_iterations),
+          remaining_(params.total_iterations),
+          remaining_form_(dls::supports_remaining_based(technique)),
+          feedback_(static_cast<std::size_t>(nodes)),
+          weights_(dls::normalize_static_weights(wf_weights, nodes)),
+          caches_(static_cast<std::size_t>(nodes)) {}
+
+    /// First RMA op of an acquisition by `node`: the size hint. A value
+    /// <= 0 means the technique ran dry (permanently).
+    [[nodiscard]] std::int64_t probe(int node) {
+        if (remaining_form_) {
+            if (remaining_ <= 0) {
+                return 0;
+            }
+            return dls::remaining_based_chunk(tech_, params_, remaining_, weight_of(node));
+        }
+        probe_step_ = step_++;
+        return dls::chunk_size_for_step(tech_, params_, probe_step_);
+    }
+
+    /// Second RMA op: allocates `hint` iterations (clamped). std::nullopt
+    /// when the loop is exhausted despite a positive hint.
+    [[nodiscard]] std::optional<Take> commit(std::int64_t hint) {
+        if (remaining_form_) {
+            const std::int64_t size = std::min(hint, remaining_);
+            if (size <= 0) {
+                return std::nullopt;
+            }
+            const std::int64_t start = total_ - remaining_;
+            remaining_ -= size;
+            return Take{start, size, step_++};
+        }
+        const std::int64_t start = scheduled_;
+        scheduled_ += hint;
+        if (start >= total_) {
+            return std::nullopt;
+        }
+        return Take{start, std::min(hint, total_ - start), probe_step_};
+    }
+
+    /// Accumulates execution feedback for `node` (the three fetch-and-op
+    /// sums of the real adaptive queue).
+    void report(int node, std::int64_t iterations, double compute_seconds,
+                double overhead_seconds) {
+        auto& f = feedback_[static_cast<std::size_t>(node)];
+        f.iterations += iterations;
+        f.compute_seconds += compute_seconds;
+        f.overhead_seconds += overhead_seconds;
+    }
+
+    /// True when report() influences future chunk sizes (AWF-*): the
+    /// engines then charge the report's RMA cost.
+    [[nodiscard]] bool wants_feedback() const noexcept { return dls::is_adaptive(tech_); }
+
+private:
+    [[nodiscard]] double weight_of(int node) {
+        if (!dls::is_adaptive(tech_)) {
+            return weights_[static_cast<std::size_t>(node)];  // WF static / FAC ignored
+        }
+        return caches_[static_cast<std::size_t>(node)].weight(
+            tech_, node, total_, remaining_,
+            [&] { return std::span<const dls::NodeFeedback>(feedback_); });
+    }
+
+    dls::Technique tech_;
+    dls::LoopParams params_;
+    std::int64_t total_ = 0;
+    std::int64_t remaining_ = 0;   // remaining-based forms
+    std::int64_t step_ = 0;        // shared step counter
+    std::int64_t scheduled_ = 0;   // step-indexed forms
+    std::int64_t probe_step_ = 0;  // step consumed by the last probe
+    bool remaining_form_ = false;
+    std::vector<dls::NodeFeedback> feedback_;
+    std::vector<double> weights_;
+    std::vector<dls::AwfWeightCache> caches_;  // per-node AWF refresh cadence
+};
+
+}  // namespace hdls::sim::detail

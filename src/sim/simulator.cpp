@@ -43,12 +43,33 @@ SimReport simulate(ExecModel model, const ClusterSpec& cluster, const SimConfig&
     if (config.min_chunk < 1) {
         throw std::invalid_argument("simulate: min_chunk must be >= 1");
     }
-    for (const dls::Technique t : {config.inter, config.intra}) {
-        if (!dls::supports_step_indexed(t)) {
-            throw std::invalid_argument(
-                std::string("simulate: technique ") + std::string(dls::technique_name(t)) +
-                " lacks a step-indexed form and cannot run under the distributed protocol");
+    if (!dls::supports_internode(config.inter)) {
+        throw std::invalid_argument(
+            std::string("simulate: inter-node technique ") +
+            std::string(dls::technique_name(config.inter)) +
+            " has neither a step-indexed nor a remaining-count-based distributed form");
+    }
+    if (!dls::supports_step_indexed(config.intra)) {
+        throw std::invalid_argument(
+            std::string("simulate: intra-node technique ") +
+            std::string(dls::technique_name(config.intra)) +
+            " lacks a step-indexed form and cannot run under the distributed protocol");
+    }
+    if (!config.inter_weights.empty() &&
+        config.inter_weights.size() != static_cast<std::size_t>(cluster.nodes)) {
+        throw std::invalid_argument(
+            "simulate: inter_weights size must equal the cluster's node count");
+    }
+    for (const double w : config.inter_weights) {
+        if (w < 0.0) {
+            throw std::invalid_argument("simulate: inter_weights must be >= 0");
         }
+    }
+    if (config.fac_sigma < 0.0) {
+        throw std::invalid_argument("simulate: fac_sigma must be >= 0");
+    }
+    if (config.fac_mu <= 0.0) {
+        throw std::invalid_argument("simulate: fac_mu must be > 0");
     }
     switch (model) {
         case ExecModel::MpiMpi:

@@ -45,6 +45,12 @@ struct SimConfig {
     dls::Technique inter = dls::Technique::GSS;
     dls::Technique intra = dls::Technique::GSS;
     std::int64_t min_chunk = 1;
+    /// Static per-node weights for WF at the inter-node level (empty =
+    /// equal; otherwise size must equal the cluster's node count).
+    std::vector<double> inter_weights;
+    /// FAC probabilistic inputs (stddev/mean of iteration time, seconds).
+    double fac_sigma = 0.0;
+    double fac_mu = 1.0;
     /// Record virtual-time chunk-lifecycle events into SimReport::trace
     /// (same schema as the real executors' traces, so every exporter and
     /// analysis in src/trace/ applies).

@@ -72,6 +72,7 @@ TraceAnalysis analyze(const Trace& trace) {
             case EventKind::RefillBegin:
             case EventKind::RefillEnd:
             case EventKind::Terminate:
+            case EventKind::FeedbackReport:
                 break;  // markers: no time attributed
         }
     }

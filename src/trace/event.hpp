@@ -31,9 +31,12 @@ enum class EventKind : std::uint8_t {
     ChunkExecEnd,    ///< loop body left for [a, b)
     BarrierWait,     ///< waiting: team barrier / work not yet visible / termination spin
     Terminate,       ///< worker left the scheduling loop
+    FeedbackReport,  ///< adaptive feedback posted (a=iterations, b=the rate denominator in
+                     ///< ns: pure body time under MPI+MPI, node wall time under MPI+OpenMP
+                     ///< whose funneled master reports whole chunks)
 };
 
-inline constexpr int kEventKinds = 8;
+inline constexpr int kEventKinds = 9;
 
 [[nodiscard]] constexpr std::string_view event_kind_name(EventKind k) noexcept {
     switch (k) {
@@ -53,6 +56,8 @@ inline constexpr int kEventKinds = 8;
             return "BarrierWait";
         case EventKind::Terminate:
             return "Terminate";
+        case EventKind::FeedbackReport:
+            return "FeedbackReport";
     }
     return "?";
 }

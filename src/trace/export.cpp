@@ -138,6 +138,11 @@ void export_chrome_json(const Trace& trace, std::ostream& os) {
             case EventKind::Terminate:
                 emit("{\"name\":\"Terminate\",\"ph\":\"i\",\"s\":\"t\"," + common + "}");
                 break;
+            case EventKind::FeedbackReport:
+                emit("{\"name\":\"FeedbackReport\",\"ph\":\"i\",\"s\":\"t\"," + common +
+                     ",\"args\":{\"iterations\":" + std::to_string(e.a) +
+                     ",\"time_ns\":" + std::to_string(e.b) + "}}");
+                break;
         }
     }
     os << "\n]}\n";

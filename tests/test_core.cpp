@@ -394,12 +394,26 @@ TEST(ValidationTest, CombinationRulesEnforced) {
     const ClusterShape shape{2, 2};
     HierConfig cfg;
 
-    cfg.inter = Technique::AWFB;  // adaptive: no step-indexed form
-    EXPECT_THROW(validate_combination(shape, Approach::MpiMpi, cfg), std::invalid_argument);
+    // Adaptive techniques are valid at the inter level (served by the
+    // remaining-count/feedback form of AdaptiveGlobalQueue)...
+    cfg.inter = Technique::AWFB;
+    EXPECT_NO_THROW(validate_combination(shape, Approach::MpiMpi, cfg));
 
     cfg.inter = Technique::GSS;
-    cfg.intra = Technique::FAC;  // FAC needs exact remaining: not step-indexed
+    cfg.intra = Technique::FAC;  // ...but not at the MPI+MPI intra level
     EXPECT_THROW(validate_combination(shape, Approach::MpiMpi, cfg), std::invalid_argument);
+    cfg.intra = Technique::AWFC;
+    EXPECT_THROW(validate_combination(shape, Approach::MpiMpi, cfg), std::invalid_argument);
+
+    // WF static node weights must match the node count when given.
+    cfg.intra = Technique::GSS;
+    cfg.inter = Technique::WF;
+    cfg.node_weights = {2.0, 1.0, 1.0};  // shape has 2 nodes
+    EXPECT_THROW(validate_combination(shape, Approach::MpiMpi, cfg), std::invalid_argument);
+    cfg.node_weights = {2.0, 1.0};
+    EXPECT_NO_THROW(validate_combination(shape, Approach::MpiMpi, cfg));
+    cfg.node_weights.clear();
+    cfg.inter = Technique::GSS;
 
     // TSS intra under MPI+OpenMP: fine with extensions, rejected without
     // (the paper's Intel-runtime limitation).

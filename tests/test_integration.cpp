@@ -172,6 +172,21 @@ TEST(EnvConfigTest, EnvironmentOverridesAndFallbacks) {
     EXPECT_EQ(cfg.intra, Technique::SS);
     EXPECT_EQ(cfg.min_chunk, 2);
 
+    // The env var overrides only the schedule: non-schedule configuration
+    // (tracing, WF node weights, FAC inputs, ...) must survive the merge.
+    fallback.trace = true;
+    fallback.node_weights = {2.0, 1.0};
+    fallback.fac_sigma = 0.5;
+    ::setenv("HDLS_SCHEDULE", "WF+GSS", 1);
+    const auto kept = hdls::core::schedule_from_env(fallback);
+    EXPECT_EQ(kept.inter, Technique::WF);
+    EXPECT_TRUE(kept.trace);
+    EXPECT_EQ(kept.node_weights, (std::vector<double>{2.0, 1.0}));
+    EXPECT_EQ(kept.fac_sigma, 0.5);
+    fallback.trace = false;
+    fallback.node_weights.clear();
+    fallback.fac_sigma = 0.0;
+
     ::setenv("HDLS_SCHEDULE", "garbage", 1);
     const auto bad = hdls::core::schedule_from_env(fallback);
     EXPECT_EQ(bad.inter, Technique::Static);

@@ -429,9 +429,24 @@ TEST(SimValidationTest, BadInputsThrow) {
     ClusterSpec cluster;
     const WorkloadTrace trace = make_trace(WorkloadKind::Constant, 10, 1e-3, 0.0);
     SimConfig cfg;
-    cfg.inter = Technique::AWFB;  // no step-indexed form
+    // Adaptive techniques are valid at the inter level (remaining-based
+    // form) but have no step-indexed form for the intra level.
+    cfg.intra = Technique::AWFB;
     EXPECT_THROW((void)simulate(ExecModel::MpiMpi, cluster, cfg, trace),
                  std::invalid_argument);
+    cfg.intra = Technique::GSS;
+    cfg.inter = Technique::WF;
+    cfg.inter_weights = {1.0, 2.0, 3.0};  // cluster has 2 nodes
+    EXPECT_THROW((void)simulate(ExecModel::MpiMpi, cluster, cfg, trace),
+                 std::invalid_argument);
+    cfg.inter_weights.clear();
+    cluster.node_speed = {1.0};  // must match the node count
+    EXPECT_THROW((void)simulate(ExecModel::MpiMpi, cluster, cfg, trace),
+                 std::invalid_argument);
+    cluster.node_speed = {1.0, 0.0};  // speeds must be positive
+    EXPECT_THROW((void)simulate(ExecModel::MpiMpi, cluster, cfg, trace),
+                 std::invalid_argument);
+    cluster.node_speed.clear();
     cfg.inter = Technique::GSS;
     cfg.min_chunk = 0;
     EXPECT_THROW((void)simulate(ExecModel::MpiMpi, cluster, cfg, trace),
