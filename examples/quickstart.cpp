@@ -28,6 +28,9 @@ int main() {
     core::HierConfig cfg;
     cfg.inter = dls::Technique::GSS;   // across nodes (global work queue)
     cfg.intra = dls::Technique::GSS;   // within a node (shared local queue)
+    // HDLS_INTER_BACKEND=sharded swaps the level-1 queue for the per-node
+    // shard windows with CAS work stealing (see README, "Architecture").
+    cfg.inter_backend = core::inter_backend_from_env();
 
     // Iteration i costs ~ (1 + i mod 7) * 30us: mildly imbalanced.
     const auto body = [](std::int64_t begin, std::int64_t end) {

@@ -48,6 +48,8 @@ int main(int argc, char** argv) {
     cli.add_int("iterations", 2000, "loop size");
     cli.add_double("mean-us", 50.0, "mean iteration cost in microseconds");
     cli.add_double("cov", 0.5, "workload dispersion (CoV where meaningful)");
+    cli.add_string("backend", "", "level-1 queue: centralized | sharded "
+                                  "(default: HDLS_INTER_BACKEND or centralized)");
     cli.add_string("format", "chrome", "chrome | csv | gantt");
     cli.add_string("out", "", "output file (default: stdout)");
     cli.add_int("capacity", 1 << 14, "trace ring-buffer capacity per worker");
@@ -95,6 +97,15 @@ int main(int argc, char** argv) {
     core::HierConfig cfg = *cfg_opt;
     cfg.trace = core::trace_from_env(true);  // HDLS_TRACE=0 turns it off
     cfg.trace_capacity = static_cast<std::size_t>(cli.get_int("capacity"));
+    cfg.inter_backend = core::inter_backend_from_env();
+    if (const std::string backend = cli.get_string("backend"); !backend.empty()) {
+        const auto parsed = dls::inter_backend_from_string(backend);
+        if (!parsed) {
+            std::cerr << "bad --backend '" << backend << "'\n";
+            return 2;
+        }
+        cfg.inter_backend = *parsed;
+    }
 
     apps::WorkloadSpec spec;
     spec.kind = *kind;

@@ -132,4 +132,17 @@ bool trace_from_env(bool fallback) {
     return fallback;
 }
 
+dls::InterBackend inter_backend_from_env(dls::InterBackend fallback) {
+    const char* value = std::getenv("HDLS_INTER_BACKEND");
+    if (value == nullptr) {
+        return fallback;
+    }
+    if (const auto b = dls::inter_backend_from_string(value)) {
+        return *b;
+    }
+    util::log_warn("HDLS_INTER_BACKEND='", value, "' is malformed; using ",
+                   dls::inter_backend_name(fallback));
+    return fallback;
+}
+
 }  // namespace hdls::core

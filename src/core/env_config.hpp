@@ -10,9 +10,10 @@
 /// Approach syntax:     "MPI+MPI" | "MPI+OpenMP".
 ///
 /// The environment variables (the schedule(runtime) analogue):
-///     HDLS_SCHEDULE  — combination string as above
-///     HDLS_APPROACH  — approach string as above
-///     HDLS_TRACE     — "1"/"on"/"true" enables chunk-event tracing
+///     HDLS_SCHEDULE       — combination string as above
+///     HDLS_APPROACH       — approach string as above
+///     HDLS_TRACE          — "1"/"on"/"true" enables chunk-event tracing
+///     HDLS_INTER_BACKEND  — "centralized" | "sharded" level-1 queue backend
 
 #include <optional>
 #include <string>
@@ -44,5 +45,10 @@ namespace hdls::core {
 /// Reads HDLS_TRACE ("1"/"on"/"true"/"yes" enable, "0"/"off"/"false"/"no"
 /// disable, case-insensitive); same fallback contract.
 [[nodiscard]] bool trace_from_env(bool fallback = false);
+
+/// Reads HDLS_INTER_BACKEND ("centralized" | "sharded", case-insensitive);
+/// same fallback contract.
+[[nodiscard]] dls::InterBackend inter_backend_from_env(
+    dls::InterBackend fallback = dls::InterBackend::Centralized);
 
 }  // namespace hdls::core

@@ -26,7 +26,9 @@
 #include "core/mpi_mpi_executor.hpp"  // IWYU pragma: export
 #include "core/report.hpp"            // IWYU pragma: export
 #include "core/runner.hpp"            // IWYU pragma: export
+#include "core/sharded_queue.hpp"     // IWYU pragma: export
 #include "core/types.hpp"             // IWYU pragma: export
+#include "core/work_source.hpp"       // IWYU pragma: export
 #include "trace/analysis.hpp"         // IWYU pragma: export
 #include "trace/export.hpp"           // IWYU pragma: export
 #include "trace/recorder.hpp"         // IWYU pragma: export

@@ -93,8 +93,10 @@ std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx, int threads_per_
                 acquire_seconds = seconds_since(a0);
                 chunk_t0 = Clock::now();
                 if (tracing) {
-                    tracer.record(trace::EventKind::GlobalAcquire, acq_t0, tracer.now(),
-                                  current ? current->start : 0, current ? current->size : 0);
+                    tracer.record(current && current->stolen ? trace::EventKind::Steal
+                                                             : trace::EventKind::GlobalAcquire,
+                                  acq_t0, tracer.now(), current ? current->start : 0,
+                                  current ? current->size : 0);
                 }
                 if (current) {
                     ++mine.global_refills;

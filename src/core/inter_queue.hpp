@@ -1,69 +1,53 @@
 #pragma once
 /// \file inter_queue.hpp
-/// Interface of the inter-node (level-1) work queue and its factory.
+/// The inter-node (level-1) work source and its factory.
 ///
-/// Two implementations exist, both masterless and both hosted on rank 0 of
-/// the communicator as a passive-target RMA window:
+/// Three implementations exist, all masterless:
 ///  * GlobalWorkQueue — the paper's step-indexed distributed chunk
-///    calculation (STATIC, SS, FSC, GSS, TSS, FAC2, TFSS, RND);
+///    calculation (STATIC, SS, FSC, GSS, TSS, FAC2, TFSS, RND) on a single
+///    rank-0-hosted passive-target RMA window;
 ///  * AdaptiveGlobalQueue — the remaining-count/feedback form serving FAC,
-///    WF and AWF-B/C/D/E (adaptive_queue.hpp).
-/// The factory picks by dls::supports_step_indexed /
-/// dls::supports_remaining_based, so executors schedule any inter-node
-/// technique through one interface.
+///    WF and AWF-B/C/D/E (adaptive_queue.hpp), also rank-0-hosted;
+///  * ShardedInterQueue — one window per node holding a weight-partitioned
+///    shard of the iteration space, with CAS work stealing between nodes
+///    (sharded_queue.hpp); removes the rank-0 serialization point.
+/// The factory picks by HierConfig::inter_backend and the technique's
+/// distributed forms (dls::supports_step_indexed / supports_remaining_based
+/// / supports_sharded), so executors schedule any inter-node technique
+/// through the one WorkSource interface.
 
 #include <cstdint>
 #include <memory>
-#include <optional>
 
 #include "core/types.hpp"
+#include "core/work_source.hpp"
 #include "dls/technique.hpp"
 #include "minimpi/minimpi.hpp"
 
 namespace hdls::core {
 
-class InterQueue {
-public:
-    /// One level-1 chunk.
-    struct Chunk {
-        std::int64_t start = 0;
-        std::int64_t size = 0;
-        std::int64_t step = 0;
-    };
+/// Historical name of the level-1 source; every inter-node backend
+/// implements the WorkSource interface directly.
+using InterQueue = WorkSource;
 
-    virtual ~InterQueue() = default;
+/// The backend make_inter_queue will actually construct for `cfg`: a
+/// sharded request for a technique without a sharded form (FAC, AWF-*)
+/// falls back to the centralized queue. The single source of truth for
+/// the fallback rule — the factory decides with it and reports quote it.
+[[nodiscard]] inline dls::InterBackend effective_inter_backend(const HierConfig& cfg) noexcept {
+    return cfg.inter_backend == dls::InterBackend::Sharded && dls::supports_sharded(cfg.inter)
+               ? dls::InterBackend::Sharded
+               : dls::InterBackend::Centralized;
+}
 
-    /// Acquires the next chunk, or std::nullopt once the loop is exhausted.
-    [[nodiscard]] virtual std::optional<Chunk> try_acquire() = 0;
-
-    /// Runtime feedback for the adaptive techniques: executed iterations
-    /// with their compute and scheduling-overhead time, accumulated into
-    /// the caller's node rate. No-op for non-adaptive queues.
-    virtual void report(std::int64_t iterations, double compute_seconds,
-                        double overhead_seconds) {
-        (void)iterations;
-        (void)compute_seconds;
-        (void)overhead_seconds;
-    }
-
-    /// True when report() calls influence future chunk sizes (AWF-*); lets
-    /// executors skip the feedback timing entirely otherwise.
-    [[nodiscard]] virtual bool wants_feedback() const noexcept { return false; }
-
-    /// Chunks acquired through *this* handle (per-rank statistic).
-    [[nodiscard]] virtual std::int64_t acquired() const noexcept = 0;
-
-    [[nodiscard]] virtual dls::Technique technique() const noexcept = 0;
-
-    /// Collective teardown.
-    virtual void free() = 0;
-};
-
-/// Creates the level-1 queue for `cfg.inter`. Collective over `comm`.
-/// `level_workers` is P in the chunk formulas (the paper uses the node
-/// count) and `node` the caller's level-1 entity id in [0, level_workers)
-/// — the feedback slot adaptive techniques accumulate into.
-/// Throws minimpi::Error for techniques with no distributed form.
+/// Creates the level-1 queue for `cfg.inter` under `cfg.inter_backend`.
+/// Collective over `comm`. `level_workers` is P in the chunk formulas (the
+/// paper uses the node count) and `node` the caller's level-1 entity id in
+/// [0, level_workers) — the feedback slot adaptive techniques accumulate
+/// into, and the shard the sharded backend assigns the caller. A sharded
+/// request for a technique without a sharded form (FAC, AWF-*) falls back
+/// to the centralized queue with a warning. Throws minimpi::Error for
+/// techniques with no distributed form at all.
 [[nodiscard]] std::unique_ptr<InterQueue> make_inter_queue(const minimpi::Comm& comm,
                                                            std::int64_t total_iterations,
                                                            const HierConfig& cfg,

@@ -137,6 +137,9 @@ public:
     /// Sub-chunks popped through this handle (per-rank statistic).
     [[nodiscard]] std::int64_t popped() const noexcept { return popped_; }
 
+    /// The intra-node technique slicing the queued chunks.
+    [[nodiscard]] dls::Technique technique() const noexcept { return intra_; }
+
     /// Collective teardown.
     void free() {
         comm_.barrier();

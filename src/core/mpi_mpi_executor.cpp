@@ -1,11 +1,11 @@
 #include "core/mpi_mpi_executor.hpp"
 
 #include <chrono>
-#include <thread>
 
-#include "core/adaptive_queue.hpp"
-#include "core/global_queue.hpp"
+#include "core/inter_queue.hpp"
 #include "core/local_queue.hpp"
+#include "core/work_source.hpp"
+#include "dls/adaptive.hpp"
 
 namespace hdls::core {
 
@@ -65,121 +65,41 @@ WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierCo
         pending_overhead = 0.0;
     };
 
-    const auto execute = [&](const NodeWorkQueue::SubChunk& sc) {
+    // The rank's view of the scheduling hierarchy: the node queue stacked
+    // on the level-1 source, every acquisition protocol (pop, refill,
+    // steal-aware tracing, termination) inside LocalWorkSource.
+    LocalWorkSource source(local, *global, tracer, flush_feedback);
+
+    while (const auto sub = source.try_acquire()) {
         if (tracing) {
-            tracer.instant(trace::EventKind::ChunkExecBegin, tracer.now(), sc.begin, sc.end);
+            tracer.instant(trace::EventKind::ChunkExecBegin, tracer.now(), sub->start,
+                           sub->start + sub->size);
         }
         const Clock::time_point b0 = Clock::now();
-        body(sc.begin, sc.end);
+        body(sub->start, sub->start + sub->size);
         const Clock::time_point b1 = Clock::now();
         const double busy = std::chrono::duration<double>(b1 - b0).count();
         stats.busy_seconds += busy;
-        stats.iterations += sc.end - sc.begin;
+        stats.iterations += sub->size;
         ++stats.chunks;
         if (tracing) {
-            tracer.instant(trace::EventKind::ChunkExecEnd, tracer.now(), sc.begin, sc.end);
+            tracer.instant(trace::EventKind::ChunkExecEnd, tracer.now(), sub->start,
+                           sub->start + sub->size);
         }
         if (feedback) {
-            pending_iters += sc.end - sc.begin;
+            pending_iters += sub->size;
             pending_busy += busy;
             pending_overhead += std::chrono::duration<double>(b0 - sched_mark).count();
             sched_mark = b1;
         }
-    };
-
-    // Termination-spin coalescing: while the global queue is exhausted but
-    // peers are mid-refill, the rank polls; recording every poll would
-    // flood the ring buffer, so the whole wait becomes one BarrierWait
-    // event — and the per-poll LocalPop/GlobalAcquire probes are muted.
-    // `end` is the start of the transaction that found work, so the wait
-    // span never overlaps the recorded LocalPop/GlobalAcquire epoch.
-    double wait_start = -1.0;
-    const auto close_wait = [&](double end) {
-        if (tracing && wait_start >= 0.0) {
-            tracer.record(trace::EventKind::BarrierWait, wait_start, end);
-            wait_start = -1.0;
-        }
-    };
-
-    for (;;) {
-        const bool record_probe = tracing && wait_start < 0.0;
-        // Stage 2 first: the node queue may already hold sub-chunks.
-        double pop_t0 = 0.0;
-        double lock_wait = 0.0;
-        if (tracing) {
-            pop_t0 = tracer.now();
-        }
-        if (const auto sub = local.try_pop(tracing ? &lock_wait : nullptr)) {
-            if (tracing) {
-                close_wait(pop_t0);
-                tracer.record(trace::EventKind::LocalPop, pop_t0, tracer.now(), sub->begin,
-                              sub->end, lock_wait);
-            }
-            execute(*sub);
-            continue;
-        }
-        if (record_probe) {
-            tracer.record(trace::EventKind::LocalPop, pop_t0, tracer.now(), -1, -1, lock_wait);
-        }
-        // Queue drained: this rank happens to be the fastest — refill.
-        local.begin_refill();
-        if (record_probe) {
-            tracer.instant(trace::EventKind::RefillBegin, tracer.now());
-        }
-        flush_feedback();  // publish rates before the next level-1 decision
-        const double acq_t0 = tracing ? tracer.now() : 0.0;
-        if (const auto chunk = global->try_acquire()) {
-            if (tracing) {
-                close_wait(acq_t0);
-                tracer.record(trace::EventKind::GlobalAcquire, acq_t0, tracer.now(),
-                              chunk->start, chunk->size);
-            }
-            ++stats.global_refills;
-            double push_t0 = 0.0;
-            double push_wait = 0.0;
-            if (tracing) {
-                push_t0 = tracer.now();
-            }
-            const auto sub = local.push_and_pop(chunk->start, chunk->size,
-                                                tracing ? &push_wait : nullptr);
-            if (tracing) {
-                tracer.record(trace::EventKind::LocalPop, push_t0, tracer.now(),
-                              sub ? sub->begin : -1, sub ? sub->end : -1, push_wait);
-                tracer.instant(trace::EventKind::RefillEnd, tracer.now(), chunk->start,
-                               chunk->size);
-            }
-            if (sub) {
-                execute(*sub);
-            }
-            continue;
-        }
-        if (record_probe) {
-            tracer.record(trace::EventKind::GlobalAcquire, acq_t0, tracer.now(), 0, 0);
-        }
-        local.end_refill();
-        if (record_probe) {
-            tracer.instant(trace::EventKind::RefillEnd, tracer.now(), 0, 0);
-        }
-        // Global queue exhausted. Terminate only when no peer is mid-refill
-        // and nothing is left to pop, otherwise work could still appear.
-        if (!local.refills_in_flight() && !local.has_pending()) {
-            break;
-        }
-        if (tracing && wait_start < 0.0) {
-            wait_start = tracer.now();
-        }
-        std::this_thread::yield();
     }
     flush_feedback();  // final accounting for chunks executed since the last refill
-    close_wait(tracer.now());
-    if (tracing) {
-        tracer.instant(trace::EventKind::Terminate, tracer.now());
-    }
+    source.finish();
 
+    stats.global_refills = source.refills();
     stats.finish_seconds = seconds_since(t0);
 
-    local.free();
-    global->free();
+    source.free();  // the node queue, then the level-1 source
     return stats;
 }
 

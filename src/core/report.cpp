@@ -47,7 +47,11 @@ int ExecutionReport::distinct_refillers() const noexcept {
 
 void ExecutionReport::print(std::ostream& os) const {
     os << approach_name(approach) << "  " << dls::technique_name(inter) << "+"
-       << dls::technique_name(intra) << "  nodes=" << shape.nodes
+       << dls::technique_name(intra);
+    if (inter_backend == dls::InterBackend::Sharded) {
+        os << " (" << dls::inter_backend_name(inter_backend) << ")";
+    }
+    os << "  nodes=" << shape.nodes
        << " workers/node=" << shape.workers_per_node << " N=" << total_iterations << "\n"
        << "  parallel time: " << util::format_seconds(parallel_seconds)
        << "  finish CoV: " << util::format_double(finish_cov(), 4)

@@ -30,6 +30,7 @@ struct ExecutionReport {
     ClusterShape shape{};
     dls::Technique inter{};
     dls::Technique intra{};
+    dls::InterBackend inter_backend{};
     std::int64_t total_iterations = 0;
     double parallel_seconds = 0.0;  ///< max worker finish time (the paper's metric)
     std::vector<WorkerStats> workers;

@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "core/hybrid_executor.hpp"
+#include "core/inter_queue.hpp"
 #include "core/mpi_mpi_executor.hpp"
 #include "minimpi/minimpi.hpp"
 #include "ompsim/schedule.hpp"
@@ -83,6 +84,7 @@ ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
     report.shape = shape;
     report.inter = cfg.inter;
     report.intra = cfg.intra;
+    report.inter_backend = effective_inter_backend(cfg);
     report.total_iterations = n;
     report.workers.assign(static_cast<std::size_t>(shape.total_workers()), WorkerStats{});
 

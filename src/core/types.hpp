@@ -7,6 +7,7 @@
 #include <functional>
 #include <vector>
 
+#include "dls/sharding.hpp"
 #include "dls/technique.hpp"
 
 namespace hdls::core {
@@ -42,6 +43,11 @@ struct ClusterShape {
 struct HierConfig {
     dls::Technique inter = dls::Technique::GSS;
     dls::Technique intra = dls::Technique::GSS;
+    /// Which level-1 implementation serves `inter`: the centralized rank-0
+    /// window, or per-node shards with CAS work stealing (removes the
+    /// rank-0 hotspot; techniques without a sharded form — FAC, AWF-* —
+    /// fall back to centralized with a warning). Env: HDLS_INTER_BACKEND.
+    dls::InterBackend inter_backend = dls::InterBackend::Centralized;
     /// Smallest chunk either level may produce.
     std::int64_t min_chunk = 1;
     /// Allow TSS/FAC2 at the intra level of the MPI+OpenMP baseline via the

@@ -1,0 +1,229 @@
+#pragma once
+/// \file work_source.hpp
+/// WorkSource — the one recursive interface behind every level of the
+/// scheduling hierarchy.
+///
+/// The paper's two hard-coded levels (an inter-node queue feeding an
+/// intra-node queue) generalize to a chain of WorkSources: a source hands
+/// out chunks, and a *composed* source (LocalWorkSource) slices the chunks
+/// of its parent through a node-local queue. Level 1 is served by any of
+/// the three inter-node backends — GlobalWorkQueue, AdaptiveGlobalQueue
+/// (both centralized on rank 0) or ShardedInterQueue (one window per node
+/// with CAS work stealing) — selected by make_inter_queue from
+/// HierConfig::inter_backend; level 2 wraps the NodeWorkQueue. Executors
+/// only ever talk to the top of the chain.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <thread>
+
+#include "core/local_queue.hpp"
+#include "dls/technique.hpp"
+#include "trace/recorder.hpp"
+
+namespace hdls::core {
+
+class WorkSource {
+public:
+    /// One scheduled chunk: execute [start, start + size).
+    struct Chunk {
+        std::int64_t start = 0;
+        std::int64_t size = 0;
+        std::int64_t step = 0;
+        /// True when the chunk was carved from a peer node's shard (the
+        /// sharded backend's work stealing); executors record it as a
+        /// Steal rather than a GlobalAcquire trace event.
+        bool stolen = false;
+    };
+
+    virtual ~WorkSource() = default;
+
+    /// Acquires the next chunk, or std::nullopt once this source (and,
+    /// for composed sources, every source beneath it) is exhausted.
+    [[nodiscard]] virtual std::optional<Chunk> try_acquire() = 0;
+
+    /// Runtime feedback for the adaptive techniques: executed iterations
+    /// with their compute and scheduling-overhead time, accumulated into
+    /// the caller's node rate. Composed sources forward to their parent;
+    /// a no-op for non-adaptive backends.
+    virtual void report(std::int64_t iterations, double compute_seconds,
+                        double overhead_seconds) {
+        (void)iterations;
+        (void)compute_seconds;
+        (void)overhead_seconds;
+    }
+
+    /// True when report() calls influence future chunk sizes (AWF-*); lets
+    /// executors skip the feedback timing entirely otherwise.
+    [[nodiscard]] virtual bool wants_feedback() const noexcept { return false; }
+
+    /// Chunks acquired through *this* handle (per-rank statistic).
+    [[nodiscard]] virtual std::int64_t acquired() const noexcept = 0;
+
+    /// The technique this source schedules with (its own level).
+    [[nodiscard]] virtual dls::Technique technique() const noexcept = 0;
+
+    /// Collective teardown. Composed sources free their whole chain.
+    virtual void free() = 0;
+};
+
+/// Level-2 source of the MPI+MPI executor: pops sub-chunks from the
+/// node-local queue and, when it drains, refills it from the parent
+/// source under the paper's "fastest rank refills" protocol — including
+/// the termination condition (parent exhausted, queue drained, no refill
+/// in flight). Records the full chunk-lifecycle trace (LocalPop,
+/// RefillBegin/End, GlobalAcquire/Steal, coalesced BarrierWait) exactly
+/// as the executor's inlined loop used to.
+class LocalWorkSource final : public WorkSource {
+public:
+    /// `before_refill` (optional) runs right before every parent acquire —
+    /// the executors flush accumulated adaptive feedback there, so rates
+    /// are published before the next level-1 decision.
+    LocalWorkSource(NodeWorkQueue& local, WorkSource& parent, trace::WorkerTracer& tracer,
+                    std::function<void()> before_refill = {})
+        : local_(local),
+          parent_(parent),
+          tracer_(tracer),
+          tracing_(tracer.enabled()),
+          before_refill_(std::move(before_refill)) {}
+
+    [[nodiscard]] std::optional<Chunk> try_acquire() override {
+        for (;;) {
+            // Termination-spin coalescing: while the parent is exhausted
+            // but peers are mid-refill, the rank polls; recording every
+            // poll would flood the ring buffer, so the whole wait becomes
+            // one BarrierWait event — and the per-poll LocalPop /
+            // GlobalAcquire probes are muted.
+            const bool record_probe = tracing_ && wait_start_ < 0.0;
+            // Stage 2 first: the node queue may already hold sub-chunks.
+            double pop_t0 = 0.0;
+            double lock_wait = 0.0;
+            if (tracing_) {
+                pop_t0 = tracer_.now();
+            }
+            if (const auto sub = local_.try_pop(tracing_ ? &lock_wait : nullptr)) {
+                if (tracing_) {
+                    close_wait(pop_t0);
+                    tracer_.record(trace::EventKind::LocalPop, pop_t0, tracer_.now(),
+                                   sub->begin, sub->end, lock_wait);
+                }
+                return as_chunk(*sub);
+            }
+            if (record_probe) {
+                tracer_.record(trace::EventKind::LocalPop, pop_t0, tracer_.now(), -1, -1,
+                               lock_wait);
+            }
+            // Queue drained: this rank happens to be the fastest — refill.
+            local_.begin_refill();
+            if (record_probe) {
+                tracer_.instant(trace::EventKind::RefillBegin, tracer_.now());
+            }
+            if (before_refill_) {
+                before_refill_();
+            }
+            const double acq_t0 = tracing_ ? tracer_.now() : 0.0;
+            if (const auto chunk = parent_.try_acquire()) {
+                if (tracing_) {
+                    close_wait(acq_t0);
+                    tracer_.record(chunk->stolen ? trace::EventKind::Steal
+                                                 : trace::EventKind::GlobalAcquire,
+                                   acq_t0, tracer_.now(), chunk->start, chunk->size);
+                }
+                ++refills_;
+                double push_t0 = 0.0;
+                double push_wait = 0.0;
+                if (tracing_) {
+                    push_t0 = tracer_.now();
+                }
+                const auto sub = local_.push_and_pop(chunk->start, chunk->size,
+                                                     tracing_ ? &push_wait : nullptr);
+                if (tracing_) {
+                    tracer_.record(trace::EventKind::LocalPop, push_t0, tracer_.now(),
+                                   sub ? sub->begin : -1, sub ? sub->end : -1, push_wait);
+                    tracer_.instant(trace::EventKind::RefillEnd, tracer_.now(), chunk->start,
+                                    chunk->size);
+                }
+                if (sub) {
+                    return as_chunk(*sub);
+                }
+                continue;
+            }
+            if (record_probe) {
+                tracer_.record(trace::EventKind::GlobalAcquire, acq_t0, tracer_.now(), 0, 0);
+            }
+            local_.end_refill();
+            if (record_probe) {
+                tracer_.instant(trace::EventKind::RefillEnd, tracer_.now(), 0, 0);
+            }
+            // Parent exhausted. Terminate only when no peer is mid-refill
+            // and nothing is left to pop, otherwise work could still appear.
+            if (!local_.refills_in_flight() && !local_.has_pending()) {
+                return std::nullopt;
+            }
+            if (tracing_ && wait_start_ < 0.0) {
+                wait_start_ = tracer_.now();
+            }
+            std::this_thread::yield();
+        }
+    }
+
+    void report(std::int64_t iterations, double compute_seconds,
+                double overhead_seconds) override {
+        parent_.report(iterations, compute_seconds, overhead_seconds);
+    }
+
+    [[nodiscard]] bool wants_feedback() const noexcept override {
+        return parent_.wants_feedback();
+    }
+
+    /// Sub-chunks handed out through this handle.
+    [[nodiscard]] std::int64_t acquired() const noexcept override { return local_.popped(); }
+
+    [[nodiscard]] dls::Technique technique() const noexcept override {
+        return local_.technique();
+    }
+
+    /// Parent chunks this handle pulled down (the rank's refill count).
+    [[nodiscard]] std::int64_t refills() const noexcept { return refills_; }
+
+    /// Closes any open wait span and marks the worker's departure from the
+    /// scheduling loop; call once after the final try_acquire().
+    void finish() {
+        close_wait(tracer_.now());
+        if (tracing_) {
+            tracer_.instant(trace::EventKind::Terminate, tracer_.now());
+        }
+    }
+
+    /// Frees the whole chain: the node queue, then the parent.
+    void free() override {
+        local_.free();
+        parent_.free();
+    }
+
+private:
+    [[nodiscard]] Chunk as_chunk(const NodeWorkQueue::SubChunk& sub) const noexcept {
+        // The sub-chunk index doubles as the level-2 step id.
+        return Chunk{sub.begin, sub.end - sub.begin, local_.popped() - 1, false};
+    }
+
+    /// `end` is the start of the transaction that found work, so the wait
+    /// span never overlaps the recorded LocalPop/GlobalAcquire epoch.
+    void close_wait(double end) {
+        if (tracing_ && wait_start_ >= 0.0) {
+            tracer_.record(trace::EventKind::BarrierWait, wait_start_, end);
+            wait_start_ = -1.0;
+        }
+    }
+
+    NodeWorkQueue& local_;
+    WorkSource& parent_;
+    trace::WorkerTracer& tracer_;
+    bool tracing_ = false;
+    std::function<void()> before_refill_;
+    std::int64_t refills_ = 0;
+    double wait_start_ = -1.0;
+};
+
+}  // namespace hdls::core

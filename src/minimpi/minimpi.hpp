@@ -11,6 +11,7 @@
 ///       ...
 ///   });
 
+#include "minimpi/backoff.hpp"  // IWYU pragma: export
 #include "minimpi/comm.hpp"     // IWYU pragma: export
 #include "minimpi/runtime.hpp"  // IWYU pragma: export
 #include "minimpi/topology.hpp" // IWYU pragma: export

@@ -3,6 +3,8 @@
 
 #include "minimpi/window.hpp"
 
+#include "minimpi/backoff.hpp"
+
 namespace minimpi {
 
 namespace {
@@ -11,7 +13,41 @@ constexpr std::size_t kSegmentAlign = 64;  // cache-line align each rank's segme
 [[nodiscard]] std::size_t align_up(std::size_t v) noexcept {
     return (v + kSegmentAlign - 1) / kSegmentAlign * kSegmentAlign;
 }
+
+std::atomic<LockPolicy> g_lock_policy{LockPolicy::Backoff};
+
+/// Acquires via the configured polling discipline: `try_acquire` is the
+/// lock-attempt message, `block` the OS fallback of LockPolicy::Block.
+template <typename TryFn, typename BlockFn>
+void acquire_polled(TryFn&& try_acquire, BlockFn&& block) {
+    switch (g_lock_policy.load(std::memory_order_relaxed)) {
+        case LockPolicy::Block:
+            block();
+            return;
+        case LockPolicy::Spin:
+            while (!try_acquire()) {
+                std::this_thread::yield();
+            }
+            return;
+        case LockPolicy::Backoff: {
+            Backoff backoff;
+            while (!try_acquire()) {
+                backoff.pause();
+            }
+            return;
+        }
+    }
+    block();  // unreachable; keeps the compiler's control-flow check happy
+}
 }  // namespace
+
+LockPolicy lock_policy() noexcept {
+    return g_lock_policy.load(std::memory_order_relaxed);
+}
+
+void set_lock_policy(LockPolicy policy) noexcept {
+    g_lock_policy.store(policy, std::memory_order_relaxed);
+}
 
 Window Window::allocate_shared(const Comm& comm, std::size_t local_bytes) {
     if (!comm.valid()) {
@@ -92,10 +128,11 @@ void Window::lock(LockType type, int target_rank) const {
         throw Error(ErrorCode::WindowUsage,
                     "minimpi: nested lock on the same window target (epochs may not overlap)");
     }
+    std::shared_mutex& mutex = impl_->lock_of(target_rank);
     if (type == LockType::Exclusive) {
-        impl_->lock_of(target_rank).lock();
+        acquire_polled([&] { return mutex.try_lock(); }, [&] { mutex.lock(); });
     } else {
-        impl_->lock_of(target_rank).lock_shared();
+        acquire_polled([&] { return mutex.try_lock_shared(); }, [&] { mutex.lock_shared(); });
     }
     held_.emplace(target_rank, type);
 }

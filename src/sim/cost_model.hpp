@@ -30,6 +30,10 @@ namespace hdls::sim {
 struct CostModel {
     /// One-way worker<->global-queue software+fabric latency per RMA op.
     double internode_rma_us = 3.0;
+    /// One-way latency of an RMA atomic on a *node-local* shared window —
+    /// the shard-acquire path of the sharded inter-node backend, which
+    /// never leaves the node while its shard lasts.
+    double intranode_rma_us = 0.3;
     /// Serialization at the global queue's target per atomic op.
     double global_queue_service_us = 0.8;
     /// Exclusive-lock hold time on the node-local queue window
@@ -51,6 +55,7 @@ struct CostModel {
     double chunk_overhead_us = 0.5;
 
     [[nodiscard]] double rma_s() const noexcept { return internode_rma_us * 1e-6; }
+    [[nodiscard]] double intranode_rma_s() const noexcept { return intranode_rma_us * 1e-6; }
     [[nodiscard]] double global_service_s() const noexcept {
         return global_queue_service_us * 1e-6;
     }
@@ -64,7 +69,8 @@ struct CostModel {
     [[nodiscard]] double chunk_overhead_s() const noexcept { return chunk_overhead_us * 1e-6; }
 
     void validate() const {
-        if (internode_rma_us < 0 || global_queue_service_us < 0 || shmem_lock_hold_us < 0 ||
+        if (internode_rma_us < 0 || intranode_rma_us < 0 || global_queue_service_us < 0 ||
+            shmem_lock_hold_us < 0 ||
             shmem_lock_poll_us < 0 || shmem_lock_attempt_us < 0 || omp_dequeue_us < 0 ||
             omp_barrier_base_us < 0 || omp_barrier_per_thread_us < 0 || chunk_overhead_us < 0) {
             throw std::invalid_argument("CostModel: all costs must be >= 0");

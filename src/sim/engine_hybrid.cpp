@@ -69,13 +69,8 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
     inter_params.mu = config.fac_mu;
 
     bool g_exhausted = false;
-    FcfsResource g_server(costs.global_service_s());
-    InterChunkSource source(config.inter, inter_params, cluster.nodes, config.inter_weights);
-
-    const auto global_op = [&](double t) {
-        const double at_target = t + costs.rma_s() / 2.0;
-        return g_server.acquire(at_target) + costs.rma_s() / 2.0;
-    };
+    const auto source = make_inter_source(config.inter_backend, config.inter, inter_params,
+                                          cluster.nodes, config.inter_weights, costs);
 
     std::vector<NodeRun> nodes(static_cast<std::size_t>(cluster.nodes));
     for (auto& nr : nodes) {
@@ -226,33 +221,23 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
         std::optional<std::pair<std::int64_t, std::int64_t>> chunk;
         double fetch_overhead = 0.0;
         if (!g_exhausted) {
-            const double t1 = global_op(t0);
-            const std::int64_t hint = source.probe(ev.node);
-            if (hint <= 0) {
+            double done = t0;
+            const auto take = source->acquire(ev.node, t0, &done);
+            master.overhead += done - t0;
+            nr.clock[0] = done;
+            if (!take) {
                 g_exhausted = true;
-                master.overhead += t1 - t0;
-                nr.clock[0] = t1;
                 if (master_tracer.enabled()) {
-                    master_tracer.record(trace::EventKind::GlobalAcquire, t0, t1, 0, 0);
+                    master_tracer.record(trace::EventKind::GlobalAcquire, t0, done, 0, 0);
                 }
             } else {
-                const double t2 = global_op(t1);
-                const auto take = source.commit(hint);
-                master.overhead += t2 - t0;
-                fetch_overhead = t2 - t0;
-                nr.clock[0] = t2;
-                if (!take) {
-                    g_exhausted = true;
-                    if (master_tracer.enabled()) {
-                        master_tracer.record(trace::EventKind::GlobalAcquire, t0, t2, 0, 0);
-                    }
-                } else {
-                    chunk = std::pair{take->start, take->size};
-                    ++master.global_refills;
-                    if (master_tracer.enabled()) {
-                        master_tracer.record(trace::EventKind::GlobalAcquire, t0, t2,
-                                             chunk->first, chunk->second);
-                    }
+                chunk = std::pair{take->start, take->size};
+                fetch_overhead = done - t0;
+                ++master.global_refills;
+                if (master_tracer.enabled()) {
+                    master_tracer.record(take->stolen ? trace::EventKind::Steal
+                                                      : trace::EventKind::GlobalAcquire,
+                                         t0, done, chunk->first, chunk->second);
                 }
             }
         }
@@ -275,11 +260,11 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
 
         workshare(ev.node, chunk->first, chunk->second);
         double joined = barrier(ev.node);  // the implicit barrier
-        if (source.wants_feedback()) {
+        if (source->wants_feedback()) {
             // The master posts the chunk's feedback before the next fetch:
             // the node's wall time for the chunk is its rate denominator.
             // Priced as the real report(): three accumulator RMA updates.
-            source.report(ev.node, chunk->second, joined - published, fetch_overhead);
+            source->report(ev.node, chunk->second, joined - published, fetch_overhead);
             const double flush = 3.0 * costs.rma_s();
             master.overhead += flush;
             nr.clock[0] += flush;

@@ -43,26 +43,11 @@ struct NodeState {
     std::int64_t unallocated = 0;    ///< unassigned iterations in the queue
 };
 
-struct GlobalState {
-    explicit GlobalState(const CostModel& costs) : server(costs.global_service_s()) {}
-
-    bool exhausted = false;
-    FcfsResource server;
-};
-
 struct QueueAccess {
     double granted = 0.0;   ///< inspection time (queue state as of here)
     double released = 0.0;  ///< worker may proceed from here
     double wait = 0.0;      ///< contention wait
 };
-
-/// One RMA atomic on the global queue: half RTT out, serialized service at
-/// the target, half RTT back.
-[[nodiscard]] double global_op(GlobalState& global, const CostModel& costs, double t) {
-    const double at_target = t + costs.rma_s() / 2.0;
-    const double done_target = global.server.acquire(at_target);
-    return done_target + costs.rma_s() / 2.0;
-}
 
 struct Event {
     double time;
@@ -111,8 +96,9 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
     inter_params.mu = config.fac_mu;
 
     std::vector<NodeState> nodes(static_cast<std::size_t>(cluster.nodes), NodeState(costs));
-    GlobalState global(costs);
-    InterChunkSource source(config.inter, inter_params, cluster.nodes, config.inter_weights);
+    bool g_exhausted = false;
+    const auto source = make_inter_source(config.inter_backend, config.inter, inter_params,
+                                          cluster.nodes, config.inter_weights, costs);
 
     // Retry period of a worker that must wait for work to appear without a
     // known wake-up time (nowait non-masters): the natural software poll.
@@ -210,11 +196,11 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
                 tracer.instant(trace::EventKind::ChunkExecEnd, exec0 + compute, sub->first,
                                sub->second);
             }
-            if (source.wants_feedback()) {
+            if (source->wants_feedback()) {
                 // Local accumulation in the real executor: free here; the
                 // flush is priced at the next refill.
-                source.report(w.node, sub->second - sub->first, compute,
-                              acc.released - t + costs.chunk_overhead_s());
+                source->report(w.node, sub->second - sub->first, compute,
+                               acc.released - t + costs.chunk_overhead_s());
                 feedback_pending[static_cast<std::size_t>(ev.worker)] = 1;
             }
             events.push({acc.released + costs.chunk_overhead_s() + compute, ev.worker});
@@ -226,13 +212,13 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
 
         double now = acc.released;
 
-        // ---- stage 1: queue drained; refill from the global queue -------
+        // ---- stage 1: queue drained; refill from the level-1 source -----
         const bool may_refill = any_rank_refills || w.worker_in_node == 0;
-        if (may_refill && !global.exhausted) {
+        if (may_refill && !g_exhausted) {
             if (feedback_pending[static_cast<std::size_t>(ev.worker)] != 0) {
                 // Pre-acquire feedback flush: three accumulator RMA updates
-                // (the AWF weight-refresh reads ride the two priced global
-                // ops below — a deliberate simplification).
+                // (the AWF weight-refresh reads ride the priced global
+                // acquisition below — a deliberate simplification).
                 const double flush = 3.0 * costs.rma_s();
                 w.overhead += flush;
                 now += flush;
@@ -241,77 +227,67 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
             if (record_probe) {
                 tracer.instant(trace::EventKind::RefillBegin, now);
             }
-            const double t1 = global_op(global, costs, now);
-            const std::int64_t hint = source.probe(w.node);
-            if (hint <= 0) {
-                global.exhausted = true;
-                w.overhead += t1 - now;
+            double done = now;
+            const auto take = source->acquire(w.node, now, &done);
+            w.overhead += done - now;
+            if (!take) {
+                g_exhausted = true;
                 if (record_probe) {
-                    tracer.record(trace::EventKind::GlobalAcquire, now, t1, 0, 0);
-                    tracer.instant(trace::EventKind::RefillEnd, t1, 0, 0);
+                    tracer.record(trace::EventKind::GlobalAcquire, now, done, 0, 0);
+                    tracer.instant(trace::EventKind::RefillEnd, done, 0, 0);
                 }
-                now = t1;
+                now = done;
             } else {
-                const double t2 = global_op(global, costs, t1);
-                const auto take = source.commit(hint);
-                w.overhead += t2 - now;
-                if (!take) {
-                    global.exhausted = true;
-                    if (record_probe) {
-                        tracer.record(trace::EventKind::GlobalAcquire, now, t2, 0, 0);
-                        tracer.instant(trace::EventKind::RefillEnd, t2, 0, 0);
-                    }
-                    now = t2;
-                } else {
-                    const std::int64_t start = take->start;
-                    const std::int64_t size = take->size;
-                    ++w.global_refills;
-                    close_wait(now);
-                    if (tracing) {
-                        tracer.record(trace::EventKind::GlobalAcquire, now, t2, start, size);
-                    }
-                    now = t2;
-                    // Push + pop own first sub-chunk in one queue access.
-                    const QueueAccess push = access_queue(node, now);
-                    w.lock_wait += push.wait;
-                    w.overhead += push.released - now;
-                    node.chunks.push_back({start, size, 0, 0, push.released});
-                    node.unallocated += size;
-                    const auto sub = pop_visible(node, push.released);
-                    // The fresh chunk is visible to us inside the epoch.
-                    const double compute =
-                        sub ? workload.range_cost(sub->first, sub->second) /
-                                  cluster.speed(w.node)
-                            : 0.0;
-                    if (sub) {
-                        w.busy += compute;
-                        w.overhead += costs.chunk_overhead_s();
-                        w.iterations += sub->second - sub->first;
-                        ++w.sub_chunks;
-                    }
-                    if (tracing) {
-                        tracer.record(trace::EventKind::LocalPop, now, push.released,
-                                      sub ? sub->first : -1, sub ? sub->second : -1,
-                                      push.wait);
-                        tracer.instant(trace::EventKind::RefillEnd, push.released, start,
-                                       size);
-                        if (sub) {
-                            const double exec0 = push.released + costs.chunk_overhead_s();
-                            tracer.instant(trace::EventKind::ChunkExecBegin, exec0,
-                                           sub->first, sub->second);
-                            tracer.instant(trace::EventKind::ChunkExecEnd, exec0 + compute,
-                                           sub->first, sub->second);
-                        }
-                    }
-                    if (sub && source.wants_feedback()) {
-                        source.report(w.node, sub->second - sub->first, compute,
-                                      push.released - now + costs.chunk_overhead_s());
-                        feedback_pending[static_cast<std::size_t>(ev.worker)] = 1;
-                    }
-                    events.push(
-                        {push.released + costs.chunk_overhead_s() + compute, ev.worker});
-                    continue;
+                const std::int64_t start = take->start;
+                const std::int64_t size = take->size;
+                ++w.global_refills;
+                close_wait(now);
+                if (tracing) {
+                    tracer.record(take->stolen ? trace::EventKind::Steal
+                                               : trace::EventKind::GlobalAcquire,
+                                  now, done, start, size);
                 }
+                now = done;
+                // Push + pop own first sub-chunk in one queue access.
+                const QueueAccess push = access_queue(node, now);
+                w.lock_wait += push.wait;
+                w.overhead += push.released - now;
+                node.chunks.push_back({start, size, 0, 0, push.released});
+                node.unallocated += size;
+                const auto sub = pop_visible(node, push.released);
+                // The fresh chunk is visible to us inside the epoch.
+                const double compute =
+                    sub ? workload.range_cost(sub->first, sub->second) /
+                              cluster.speed(w.node)
+                        : 0.0;
+                if (sub) {
+                    w.busy += compute;
+                    w.overhead += costs.chunk_overhead_s();
+                    w.iterations += sub->second - sub->first;
+                    ++w.sub_chunks;
+                }
+                if (tracing) {
+                    tracer.record(trace::EventKind::LocalPop, now, push.released,
+                                  sub ? sub->first : -1, sub ? sub->second : -1,
+                                  push.wait);
+                    tracer.instant(trace::EventKind::RefillEnd, push.released, start,
+                                   size);
+                    if (sub) {
+                        const double exec0 = push.released + costs.chunk_overhead_s();
+                        tracer.instant(trace::EventKind::ChunkExecBegin, exec0,
+                                       sub->first, sub->second);
+                        tracer.instant(trace::EventKind::ChunkExecEnd, exec0 + compute,
+                                       sub->first, sub->second);
+                    }
+                }
+                if (sub && source->wants_feedback()) {
+                    source->report(w.node, sub->second - sub->first, compute,
+                                   push.released - now + costs.chunk_overhead_s());
+                    feedback_pending[static_cast<std::size_t>(ev.worker)] = 1;
+                }
+                events.push(
+                    {push.released + costs.chunk_overhead_s() + compute, ev.worker});
+                continue;
             }
         }
 
@@ -334,7 +310,7 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
             events.push({next, ev.worker});
             continue;
         }
-        if (!global.exhausted) {
+        if (!g_exhausted) {
             // Only reachable for nowait non-masters: the pool is empty and
             // the master has not refilled yet — poll again later.
             w.idle += poll_quantum;

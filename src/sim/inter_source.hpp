@@ -1,16 +1,29 @@
 #pragma once
 /// \file inter_source.hpp
-/// Virtual-time inter-node chunk source shared by both simulation engines.
+/// Virtual-time inter-node chunk sources shared by both simulation engines.
 ///
-/// Mirrors the real level-1 queues behind one protocol with two RMA-priced
-/// steps per acquisition, so the engines charge identical virtual-time
-/// costs for both forms:
-///  * step-indexed (GlobalWorkQueue): probe = step fetch-and-op + local
-///    formula; commit = scheduled fetch-and-op + clamp;
-///  * remaining-based (AdaptiveGlobalQueue): probe = feedback read + weight
-///    derivation + size hint from the exact remaining count; commit = the
-///    CAS on the remaining cell (which always succeeds here: the engines
-///    serialize global accesses in virtual-time order).
+/// InterSource is the level-1 counterpart of the real executors'
+/// WorkSource: one `acquire()` performs a complete level-1 acquisition in
+/// virtual time, including the RMA pricing, so both engines charge
+/// identical costs for every backend. Two implementations mirror the real
+/// queues:
+///
+///  * CentralizedInterSource — the rank-0-hosted queues. Each acquisition
+///    is two RMA-priced atomic ops serialized at one FCFS server (probe =
+///    step fetch-and-op / feedback read + size hint; commit = scheduled
+///    fetch-and-op / remaining CAS), exactly the pricing the engines used
+///    before the backends were pluggable. Wraps InterChunkSource for the
+///    chunk math.
+///
+///  * ShardedInterSource — the per-node shard windows (ShardedInterQueue).
+///    While a node's shard lasts, an acquisition is two atomics on the
+///    *node-local* window: intranode latency, per-shard server — no
+///    inter-node traffic and no shared hotspot. Once the shard drains the
+///    node steals half the remainder of the most-loaded victim: priced as
+///    one fabric RTT for the (pipelined) scan of the peer shards' counters
+///    plus the CAS at the victim's server. The shard math comes from
+///    dls/sharding.hpp, the same functions the real queue executes, so the
+///    virtual and real chunk sequences cannot drift.
 ///
 /// Adaptive feedback (report) is accounted at event-processing time, which
 /// can precede the sub-chunk's virtual completion; the accumulated rates
@@ -19,15 +32,23 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "dls/adaptive.hpp"
 #include "dls/chunk_formulas.hpp"
+#include "dls/sharding.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/resources.hpp"
 
 namespace hdls::sim::detail {
 
+/// Chunk math of the centralized queues (no pricing): the step-indexed
+/// (GlobalWorkQueue) and remaining-based (AdaptiveGlobalQueue) protocols
+/// behind probe/commit pairs. The engines serialize global accesses in
+/// virtual-time order, so the remaining-cell CAS always succeeds.
 class InterChunkSource {
 public:
     struct Take {
@@ -116,5 +137,204 @@ private:
     std::vector<double> weights_;
     std::vector<dls::AwfWeightCache> caches_;  // per-node AWF refresh cadence
 };
+
+/// One complete, RMA-priced level-1 acquisition per call — the simulator's
+/// view of core::WorkSource.
+class InterSource {
+public:
+    struct Take {
+        std::int64_t start = 0;
+        std::int64_t size = 0;
+        std::int64_t step = 0;
+        bool stolen = false;  ///< carved from a peer shard (sharded backend)
+    };
+
+    virtual ~InterSource() = default;
+
+    /// Acquisition by `node` arriving at virtual time `t`. On success the
+    /// take is returned and *done holds its completion time; on permanent
+    /// exhaustion nullopt is returned with *done = completion of the
+    /// failed probe (the caller still pays for learning the queue is dry).
+    [[nodiscard]] virtual std::optional<Take> acquire(int node, double t, double* done) = 0;
+
+    /// Execution feedback for `node` (no-op outside the adaptive family).
+    virtual void report(int node, std::int64_t iterations, double compute_seconds,
+                        double overhead_seconds) {
+        (void)node;
+        (void)iterations;
+        (void)compute_seconds;
+        (void)overhead_seconds;
+    }
+
+    /// True when report() influences future chunk sizes (AWF-*): the
+    /// engines then charge the report's RMA cost.
+    [[nodiscard]] virtual bool wants_feedback() const noexcept { return false; }
+};
+
+/// The rank-0-hosted backends: two RMA ops through one FCFS server.
+class CentralizedInterSource final : public InterSource {
+public:
+    CentralizedInterSource(dls::Technique technique, const dls::LoopParams& params, int nodes,
+                           const std::vector<double>& wf_weights, const CostModel& costs)
+        : src_(technique, params, nodes, wf_weights),
+          server_(costs.global_service_s()),
+          rma_(costs.rma_s()) {}
+
+    [[nodiscard]] std::optional<Take> acquire(int node, double t, double* done) override {
+        const double t1 = op(t);
+        const std::int64_t hint = src_.probe(node);
+        if (hint <= 0) {
+            *done = t1;
+            return std::nullopt;
+        }
+        const double t2 = op(t1);
+        *done = t2;
+        const auto take = src_.commit(hint);
+        if (!take) {
+            return std::nullopt;
+        }
+        return Take{take->start, take->size, take->step, false};
+    }
+
+    void report(int node, std::int64_t iterations, double compute_seconds,
+                double overhead_seconds) override {
+        src_.report(node, iterations, compute_seconds, overhead_seconds);
+    }
+
+    [[nodiscard]] bool wants_feedback() const noexcept override {
+        return src_.wants_feedback();
+    }
+
+private:
+    /// One RMA atomic on the global queue: half RTT out, serialized
+    /// service at the target, half RTT back.
+    [[nodiscard]] double op(double t) {
+        return server_.acquire(t + rma_ / 2.0) + rma_ / 2.0;
+    }
+
+    InterChunkSource src_;
+    FcfsResource server_;
+    double rma_;
+};
+
+/// The per-node shard windows with CAS work stealing (ShardedInterQueue's
+/// virtual twin; all shard math from dls/sharding.hpp).
+class ShardedInterSource final : public InterSource {
+public:
+    ShardedInterSource(dls::Technique technique, const dls::LoopParams& params, int nodes,
+                       const std::vector<double>& wf_weights, const CostModel& costs)
+        : tech_(technique),
+          min_chunk_(params.min_chunk),
+          workers_(params.workers),
+          sizes_(dls::shard_partition(params.total_iterations, wf_weights, nodes)),
+          remaining_(sizes_),
+          step_(static_cast<std::size_t>(nodes), 0),
+          rma_(costs.rma_s()),
+          shm_(costs.intranode_rma_s()) {
+        lo_.resize(static_cast<std::size_t>(nodes));
+        std::int64_t acc = 0;
+        for (int j = 0; j < nodes; ++j) {
+            lo_[static_cast<std::size_t>(j)] = acc;
+            acc += sizes_[static_cast<std::size_t>(j)];
+        }
+        servers_.reserve(static_cast<std::size_t>(nodes));
+        for (int j = 0; j < nodes; ++j) {
+            servers_.emplace_back(costs.global_service_s());
+        }
+    }
+
+    [[nodiscard]] std::optional<Take> acquire(int node, double t, double* done) override {
+        if (remaining_[static_cast<std::size_t>(node)] > 0) {
+            // Own shard: step fetch-and-op + remaining CAS, both on the
+            // node-local window.
+            const double t1 = op(node, t, shm_);
+            *done = op(node, t1, shm_);
+            return take_from(node, false);
+        }
+        // Steal: one fabric RTT for the pipelined scan of the peer shards'
+        // remaining counters, then the half-remainder CAS at the victim.
+        int victim = -1;
+        std::int64_t best = 0;
+        for (std::size_t j = 0; j < remaining_.size(); ++j) {
+            if (static_cast<int>(j) == node) {
+                continue;
+            }
+            if (remaining_[j] > best) {
+                best = remaining_[j];
+                victim = static_cast<int>(j);
+            }
+        }
+        const double scanned = t + rma_;
+        if (victim < 0) {
+            *done = scanned;
+            return std::nullopt;  // every shard is dry: the loop is tiled
+        }
+        *done = op(victim, scanned, rma_);
+        auto take = steal_from(victim, node);
+        return take;
+    }
+
+private:
+    /// One atomic on shard `shard`'s window: half the (intra- or
+    /// inter-node) latency out, serialized service at the shard's host,
+    /// half back.
+    [[nodiscard]] double op(int shard, double t, double latency) {
+        return servers_[static_cast<std::size_t>(shard)].acquire(t + latency / 2.0) +
+               latency / 2.0;
+    }
+
+    [[nodiscard]] std::optional<Take> take_from(int shard, bool stolen) {
+        std::int64_t& r = remaining_[static_cast<std::size_t>(shard)];
+        if (r <= 0) {
+            return std::nullopt;
+        }
+        const std::int64_t step = step_[static_cast<std::size_t>(shard)]++;
+        const std::int64_t hint = dls::shard_chunk_hint(
+            tech_, sizes_[static_cast<std::size_t>(shard)], workers_, min_chunk_, step);
+        const std::int64_t take = hint > 0 ? std::min(hint, r) : r;
+        const std::int64_t start =
+            lo_[static_cast<std::size_t>(shard)] + sizes_[static_cast<std::size_t>(shard)] - r;
+        r -= take;
+        return Take{start, take, step, stolen};
+    }
+
+    [[nodiscard]] std::optional<Take> steal_from(int victim, int thief) {
+        std::int64_t& r = remaining_[static_cast<std::size_t>(victim)];
+        const std::int64_t take = dls::steal_amount(r, min_chunk_);
+        if (take <= 0) {
+            return std::nullopt;
+        }
+        const std::int64_t start = lo_[static_cast<std::size_t>(victim)] +
+                                   sizes_[static_cast<std::size_t>(victim)] - r;
+        r -= take;
+        // The thief's own step counter supplies the id (telemetry only).
+        return Take{start, take, step_[static_cast<std::size_t>(thief)]++, true};
+    }
+
+    dls::Technique tech_;
+    std::int64_t min_chunk_ = 1;
+    int workers_ = 1;  // P in the shard formulas (the node count)
+    std::vector<std::int64_t> sizes_;
+    std::vector<std::int64_t> lo_;
+    std::vector<std::int64_t> remaining_;
+    std::vector<std::int64_t> step_;
+    std::vector<FcfsResource> servers_;  // one per shard window
+    double rma_;
+    double shm_;
+};
+
+/// Picks the backend for `config.inter`; a sharded request for a technique
+/// without a sharded form (FAC, AWF-*) falls back to the centralized
+/// source, mirroring core::make_inter_queue.
+[[nodiscard]] inline std::unique_ptr<InterSource> make_inter_source(
+    dls::InterBackend backend, dls::Technique technique, const dls::LoopParams& params,
+    int nodes, const std::vector<double>& wf_weights, const CostModel& costs) {
+    if (backend == dls::InterBackend::Sharded && dls::supports_sharded(technique)) {
+        return std::make_unique<ShardedInterSource>(technique, params, nodes, wf_weights,
+                                                    costs);
+    }
+    return std::make_unique<CentralizedInterSource>(technique, params, nodes, wf_weights,
+                                                    costs);
+}
 
 }  // namespace hdls::sim::detail

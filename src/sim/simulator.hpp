@@ -24,6 +24,7 @@
 #include <optional>
 #include <string_view>
 
+#include "dls/sharding.hpp"
 #include "dls/technique.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/report.hpp"
@@ -44,6 +45,11 @@ enum class ExecModel {
 struct SimConfig {
     dls::Technique inter = dls::Technique::GSS;
     dls::Technique intra = dls::Technique::GSS;
+    /// Which level-1 implementation serves `inter`: the centralized rank-0
+    /// window or per-node shards with CAS work stealing (mirrors
+    /// HierConfig::inter_backend; unsupported techniques fall back to
+    /// centralized).
+    dls::InterBackend inter_backend = dls::InterBackend::Centralized;
     std::int64_t min_chunk = 1;
     /// Static per-node weights for WF at the inter-node level (empty =
     /// equal; otherwise size must equal the cluster's node count).

@@ -44,6 +44,7 @@ TraceAnalysis analyze(const Trace& trace) {
         w.finish = std::max(w.finish, e.t1);
         switch (e.kind) {
             case EventKind::GlobalAcquire:
+            case EventKind::Steal:
                 w.sched_overhead += e.duration();
                 if (e.b > 0) {
                     ++w.global_chunks;

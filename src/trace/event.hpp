@@ -34,9 +34,12 @@ enum class EventKind : std::uint8_t {
     FeedbackReport,  ///< adaptive feedback posted (a=iterations, b=the rate denominator in
                      ///< ns: pure body time under MPI+MPI, node wall time under MPI+OpenMP
                      ///< whose funneled master reports whole chunks)
+    Steal,           ///< level-1 work steal under the sharded backend (a=start, b=size
+                     ///< carved from a peer shard; the victim is recoverable from the
+                     ///< range, shard boundaries being deterministic)
 };
 
-inline constexpr int kEventKinds = 9;
+inline constexpr int kEventKinds = 10;
 
 [[nodiscard]] constexpr std::string_view event_kind_name(EventKind k) noexcept {
     switch (k) {
@@ -58,6 +61,8 @@ inline constexpr int kEventKinds = 9;
             return "Terminate";
         case EventKind::FeedbackReport:
             return "FeedbackReport";
+        case EventKind::Steal:
+            return "Steal";
     }
     return "?";
 }

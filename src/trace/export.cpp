@@ -143,6 +143,12 @@ void export_chrome_json(const Trace& trace, std::ostream& os) {
                      ",\"args\":{\"iterations\":" + std::to_string(e.a) +
                      ",\"time_ns\":" + std::to_string(e.b) + "}}");
                 break;
+            case EventKind::Steal:
+                emit("{\"name\":\"Steal\",\"ph\":\"X\"," + common +
+                     ",\"dur\":" + json_number(us(e.duration())) +
+                     ",\"args\":{\"start\":" + std::to_string(e.a) +
+                     ",\"size\":" + std::to_string(e.b) + "}}");
+                break;
         }
     }
     os << "\n]}\n";
@@ -208,6 +214,7 @@ void ascii_gantt(const Trace& trace, std::ostream& os, int width) {
             }
             switch (e.kind) {
                 case EventKind::GlobalAcquire:
+                case EventKind::Steal:
                 case EventKind::LocalPop:
                     paint(row, e.t0, e.t1, '+');
                     break;
