@@ -4,14 +4,17 @@
 /// GSS within nodes (the paper's MPI+MPI approach), then print the report.
 ///
 ///   $ ./quickstart
+///   $ HDLS_TOPOLOGY=racks=2,nodes=2,cores=2 ./quickstart   # 3-level tree
+///   $ HDLS_INTER_BACKEND=sharded ./quickstart              # stealing levels
 ///
 /// The loop body just burns a deterministic, intentionally imbalanced
-/// amount of time per iteration; the report shows how the two-level
-/// scheduler balanced it.
+/// amount of time per iteration; the report shows how the scheduling
+/// hierarchy balanced it.
 
 #include <chrono>
 #include <cmath>
 #include <iostream>
+#include <stdexcept>
 #include <thread>
 
 #include "core/hdls.hpp"
@@ -26,11 +29,25 @@ int main() {
     shape.workers_per_node = 4;
 
     core::HierConfig cfg;
-    cfg.inter = dls::Technique::GSS;   // across nodes (global work queue)
-    cfg.intra = dls::Technique::GSS;   // within a node (shared local queue)
-    // HDLS_INTER_BACKEND=sharded swaps the level-1 queue for the per-node
-    // shard windows with CAS work stealing (see README, "Architecture").
-    cfg.inter_backend = core::inter_backend_from_env();
+    cfg.inter = dls::Technique::GSS;   // between level-0 groups (root queue)
+    cfg.intra = dls::Technique::GSS;   // within a leaf group (shared local queue)
+    try {
+        // HDLS_INTER_BACKEND=sharded swaps every interior level for the
+        // work-stealing backend (per-entity shards at the root, per-child
+        // shards in the relays — see README, "Architecture").
+        cfg.inter_backend = core::inter_backend_from_env();
+        // HDLS_TOPOLOGY reshapes the machine tree (racks=2,nodes=2,cores=2
+        // schedules the same 8 workers through a 3-level hierarchy).
+        // Malformed values throw — fix the spec rather than silently
+        // measuring defaults.
+        cfg.topology = core::topology_from_env();
+    } catch (const std::invalid_argument& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    }
+    if (!cfg.topology.empty()) {
+        shape = core::shape_from_topology(cfg.topology);
+    }
 
     // Iteration i costs ~ (1 + i mod 7) * 30us: mildly imbalanced.
     const auto body = [](std::int64_t begin, std::int64_t end) {
@@ -39,8 +56,24 @@ int main() {
         }
     };
 
+    // Show the hierarchy the run will schedule over, level by level.
+    const core::ResolvedHierarchy rh = core::resolve_hierarchy(shape, cfg);
     std::cout << "hdls quickstart: " << kIterations << " iterations on " << shape.nodes
-              << " nodes x " << shape.workers_per_node << " workers\n\n";
+              << " leaf groups x " << shape.workers_per_node << " workers\n"
+              << "scheduling hierarchy:\n";
+    for (int d = 0; d < rh.depth(); ++d) {
+        const auto& lv = rh.tree[static_cast<std::size_t>(d)];
+        const auto& lc = rh.levels[static_cast<std::size_t>(d)];
+        std::cout << "  level " << d << ": " << lv.name << " x" << lv.fan_out << "  ["
+                  << dls::technique_name(lc.technique);
+        if (lc.backend) {
+            std::cout << ", " << dls::inter_backend_name(*lc.backend);
+        } else {
+            std::cout << ", shared local queue";
+        }
+        std::cout << "]\n";
+    }
+    std::cout << "\n";
 
     const core::ExecutionReport report =
         parallel_for(shape, core::Approach::MpiMpi, cfg, kIterations, body);

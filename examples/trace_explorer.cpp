@@ -15,6 +15,7 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <stdexcept>
 #include <vector>
 
 #include "apps/synthetic.hpp"
@@ -39,10 +40,13 @@ int main(int argc, char** argv) {
 
     util::ArgParser cli("trace_explorer",
                         "Traces one hierarchical loop execution and exports its events");
-    cli.add_string("schedule", "GSS+SS", "inter+intra combination, e.g. FAC2+STATIC");
+    cli.add_string("schedule", "GSS+SS",
+                   "one technique per level, e.g. FAC2+STATIC or FAC2+GSS+SS");
     cli.add_string("approach", "MPI+MPI", "MPI+MPI | MPI+OpenMP");
     cli.add_int("nodes", 2, "simulated compute nodes");
     cli.add_int("wpn", 4, "workers (ranks/threads) per node");
+    cli.add_string("topology", "", "machine tree, e.g. racks=2,nodes=2,cores=4 "
+                                   "(default: HDLS_TOPOLOGY or the flat nodes x wpn)");
     cli.add_string("workload", "gaussian",
                    "constant|uniform|gaussian|exponential|bimodal|increasing|decreasing");
     cli.add_int("iterations", 2000, "loop size");
@@ -97,7 +101,16 @@ int main(int argc, char** argv) {
     core::HierConfig cfg = *cfg_opt;
     cfg.trace = core::trace_from_env(true);  // HDLS_TRACE=0 turns it off
     cfg.trace_capacity = static_cast<std::size_t>(cli.get_int("capacity"));
-    cfg.inter_backend = core::inter_backend_from_env();
+    try {
+        cfg.inter_backend = core::inter_backend_from_env();
+        cfg.topology = core::topology_from_env();
+        if (const std::string topo = cli.get_string("topology"); !topo.empty()) {
+            cfg.topology = core::parse_topology(topo);
+        }
+    } catch (const std::invalid_argument& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    }
     if (const std::string backend = cli.get_string("backend"); !backend.empty()) {
         const auto parsed = dls::inter_backend_from_string(backend);
         if (!parsed) {
@@ -114,8 +127,12 @@ int main(int argc, char** argv) {
     spec.cov = cli.get_double("cov");
     const std::vector<double> costs = apps::make_workload(spec);
 
-    const core::ClusterShape shape{static_cast<int>(cli.get_int("nodes")),
-                                   static_cast<int>(cli.get_int("wpn"))};
+    core::ClusterShape shape{static_cast<int>(cli.get_int("nodes")),
+                             static_cast<int>(cli.get_int("wpn"))};
+    if (!cfg.topology.empty()) {
+        // An explicit tree defines the shape: leaf fan-out x leaf groups.
+        shape = core::shape_from_topology(cfg.topology);
+    }
     const auto n = static_cast<std::int64_t>(costs.size());
 
     std::cerr << "tracing " << core::approach_name(*approach) << " "

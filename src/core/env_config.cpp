@@ -4,6 +4,7 @@
 #include <cctype>
 #include <charconv>
 #include <cstdlib>
+#include <stdexcept>
 
 #include "util/log.hpp"
 
@@ -20,6 +21,31 @@ namespace {
         }
     }
     return out;
+}
+
+[[nodiscard]] std::string stripped(std::string_view text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char ch : text) {
+        if (!std::isspace(static_cast<unsigned char>(ch))) {
+            out.push_back(ch);
+        }
+    }
+    return out;
+}
+
+[[nodiscard]] std::vector<std::string> split(const std::string& text, char sep) {
+    std::vector<std::string> parts;
+    std::size_t from = 0;
+    for (;;) {
+        const std::size_t at = text.find(sep, from);
+        if (at == std::string::npos) {
+            parts.push_back(text.substr(from));
+            return parts;
+        }
+        parts.push_back(text.substr(from, at - from));
+        from = at + 1;
+    }
 }
 
 }  // namespace
@@ -47,23 +73,45 @@ std::optional<HierConfig> parse_schedule(std::string_view text) {
         }
         cfg.min_chunk = k;
     }
-    const auto plus = combo.find('+');
-    if (plus == std::string::npos || plus == 0 || plus + 1 >= combo.size()) {
+    const std::vector<std::string> parts = split(combo, '+');
+    if (parts.size() < 2) {
         return std::nullopt;
     }
-    const auto inter = dls::technique_from_string(combo.substr(0, plus));
-    const auto intra = dls::technique_from_string(combo.substr(plus + 1));
-    if (!inter || !intra) {
-        return std::nullopt;
+    std::vector<dls::Technique> techniques;
+    techniques.reserve(parts.size());
+    for (const std::string& part : parts) {
+        const auto t = dls::technique_from_string(part);
+        if (!t) {
+            return std::nullopt;
+        }
+        techniques.push_back(*t);
     }
-    cfg.inter = *inter;
-    cfg.intra = *intra;
+    cfg.inter = techniques.front();
+    cfg.intra = techniques.back();
+    if (techniques.size() > 2) {
+        // One technique per topology level; backends stay unset so each
+        // interior level inherits the run's inter_backend.
+        cfg.levels.reserve(techniques.size());
+        for (const dls::Technique t : techniques) {
+            cfg.levels.push_back(LevelConfig{t, std::nullopt});
+        }
+    }
     return cfg;
 }
 
 std::string format_schedule(const HierConfig& cfg) {
-    std::string out = std::string(dls::technique_name(cfg.inter)) + "+" +
-                      std::string(dls::technique_name(cfg.intra));
+    std::string out;
+    if (cfg.levels.size() > 2) {
+        for (std::size_t d = 0; d < cfg.levels.size(); ++d) {
+            if (d > 0) {
+                out += "+";
+            }
+            out += std::string(dls::technique_name(cfg.levels[d].technique));
+        }
+    } else {
+        out = std::string(dls::technique_name(cfg.inter)) + "+" +
+              std::string(dls::technique_name(cfg.intra));
+    }
     if (cfg.min_chunk != 1) {
         out += ",min_chunk=" + std::to_string(cfg.min_chunk);
     }
@@ -81,20 +129,68 @@ std::optional<Approach> parse_approach(std::string_view text) {
     return std::nullopt;
 }
 
+std::vector<minimpi::TopologyLevel> parse_topology(std::string_view text) {
+    const std::string s = stripped(text);
+    if (s.empty()) {
+        throw std::invalid_argument("topology: empty spec (expected name=fanout,...)");
+    }
+    std::vector<minimpi::TopologyLevel> tree;
+    for (const std::string& entry : split(s, ',')) {
+        if (entry.empty()) {
+            throw std::invalid_argument("topology: empty level in '" + s + "'");
+        }
+        const std::size_t eq = entry.find('=');
+        if (eq == std::string::npos) {
+            throw std::invalid_argument("topology: level '" + entry +
+                                        "' is not of the form name=fanout");
+        }
+        const std::string name = entry.substr(0, eq);
+        const std::string value = entry.substr(eq + 1);
+        if (name.empty()) {
+            throw std::invalid_argument("topology: level '" + entry + "' has an empty name");
+        }
+        int fan_out = 0;
+        const auto [ptr, ec] =
+            std::from_chars(value.data(), value.data() + value.size(), fan_out);
+        if (ec != std::errc{} || ptr != value.data() + value.size()) {
+            throw std::invalid_argument("topology: level '" + name + "' fan-out '" + value +
+                                        "' is not a number");
+        }
+        if (fan_out < 1) {
+            throw std::invalid_argument("topology: level '" + name +
+                                        "' fan-out must be >= 1 (got " + value + ")");
+        }
+        tree.push_back({name, fan_out});
+    }
+    return tree;
+}
+
+std::string format_topology(const std::vector<minimpi::TopologyLevel>& tree) {
+    std::string out;
+    for (std::size_t d = 0; d < tree.size(); ++d) {
+        if (d > 0) {
+            out += ",";
+        }
+        out += tree[d].name + "=" + std::to_string(tree[d].fan_out);
+    }
+    return out;
+}
+
 HierConfig schedule_from_env(const HierConfig& fallback) {
     const char* value = std::getenv("HDLS_SCHEDULE");
     if (value == nullptr) {
         return fallback;
     }
     if (const auto cfg = parse_schedule(value)) {
-        // The env var expresses the *schedule* (inter, intra, min_chunk);
-        // every other field — tracing, extension schedules, WF node
-        // weights, FAC inputs, whatever is added next — keeps the
-        // program's configuration.
+        // The env var expresses the *schedule* (per-level techniques,
+        // min_chunk); every other field — tracing, topology, extension
+        // schedules, WF node weights, FAC inputs, whatever is added next —
+        // keeps the program's configuration.
         HierConfig merged = fallback;
         merged.inter = cfg->inter;
         merged.intra = cfg->intra;
         merged.min_chunk = cfg->min_chunk;
+        merged.levels = cfg->levels;
         return merged;
     }
     util::log_warn("HDLS_SCHEDULE='", value, "' is malformed; using ",
@@ -140,9 +236,21 @@ dls::InterBackend inter_backend_from_env(dls::InterBackend fallback) {
     if (const auto b = dls::inter_backend_from_string(value)) {
         return *b;
     }
-    util::log_warn("HDLS_INTER_BACKEND='", value, "' is malformed; using ",
-                   dls::inter_backend_name(fallback));
-    return fallback;
+    throw std::invalid_argument(std::string("HDLS_INTER_BACKEND='") + value +
+                                "' is not a backend (expected 'centralized' or 'sharded')");
+}
+
+std::vector<minimpi::TopologyLevel> topology_from_env(
+    std::vector<minimpi::TopologyLevel> fallback) {
+    const char* value = std::getenv("HDLS_TOPOLOGY");
+    if (value == nullptr) {
+        return fallback;
+    }
+    try {
+        return parse_topology(value);
+    } catch (const std::invalid_argument& e) {
+        throw std::invalid_argument(std::string("HDLS_TOPOLOGY: ") + e.what());
+    }
 }
 
 }  // namespace hdls::core

@@ -5,38 +5,66 @@
 /// selected DLS technique", like OpenMP's schedule(runtime) clause) and
 /// plans as future work for its library form.
 ///
-/// Combination syntax:  "<INTER>+<INTRA>[,min_chunk=<k>]"
-/// e.g. "GSS+STATIC", "FAC2+SS,min_chunk=4", "tss+fac2".
+/// Combination syntax:  "<L0>+<L1>[+<L2>...][,min_chunk=<k>]"
+/// e.g. "GSS+STATIC", "FAC2+SS,min_chunk=4", "FAC2+GSS+SS" (one technique
+/// per topology level, outermost first; two techniques are the classic
+/// inter+intra pair).
 /// Approach syntax:     "MPI+MPI" | "MPI+OpenMP".
+/// Topology syntax:     "<name>=<fanout>,<name>=<fanout>,..." outermost
+/// level first, e.g. "racks=2,nodes=4,cores=8" (the fan-outs must
+/// multiply to the world size; the innermost level is the shared-memory
+/// leaf).
 ///
 /// The environment variables (the schedule(runtime) analogue):
 ///     HDLS_SCHEDULE       — combination string as above
 ///     HDLS_APPROACH       — approach string as above
 ///     HDLS_TRACE          — "1"/"on"/"true" enables chunk-event tracing
-///     HDLS_INTER_BACKEND  — "centralized" | "sharded" level-1 queue backend
+///     HDLS_INTER_BACKEND  — "centralized" | "sharded" inter-level backend
+///     HDLS_TOPOLOGY       — machine tree as above
+///
+/// Malformed HDLS_SCHEDULE / HDLS_APPROACH / HDLS_TRACE fall back with a
+/// warning (mirroring how OpenMP runtimes treat bad OMP_SCHEDULE values);
+/// malformed HDLS_TOPOLOGY / HDLS_INTER_BACKEND *throw* a one-line
+/// std::invalid_argument instead — a mis-shaped machine tree or unknown
+/// backend silently reverting to defaults would change what the run
+/// measures.
 
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/types.hpp"
 
 namespace hdls::core {
 
-/// Parses "INTER+INTRA[,min_chunk=k]" (case-insensitive, spaces allowed).
+/// Parses "L0+L1[+L2...][,min_chunk=k]" (case-insensitive, spaces
+/// allowed). Two techniques set inter/intra; more additionally fill
+/// HierConfig::levels (backends unset — they inherit inter_backend).
 /// Returns std::nullopt with no side effects on malformed input.
 [[nodiscard]] std::optional<HierConfig> parse_schedule(std::string_view text);
 
 /// Renders a config back to its canonical string ("GSS+STATIC,min_chunk=4";
-/// the suffix is omitted when min_chunk == 1). parse(format(x)) == x.
+/// the suffix is omitted when min_chunk == 1; deeper configs render every
+/// level's technique). parse(format(x)) == x.
 [[nodiscard]] std::string format_schedule(const HierConfig& cfg);
 
 /// Parses "MPI+MPI" / "MPI+OpenMP" (several common spellings accepted).
 [[nodiscard]] std::optional<Approach> parse_approach(std::string_view text);
 
+/// Parses "name=fanout,name=fanout,..." (case-preserving names, spaces
+/// allowed, outermost level first). Throws std::invalid_argument with a
+/// one-line message for empty input, empty level entries, missing '=',
+/// empty names or fan-outs < 1. The fan-out product is validated against
+/// the world size where the topology is used (resolve_hierarchy /
+/// minimpi::Runtime).
+[[nodiscard]] std::vector<minimpi::TopologyLevel> parse_topology(std::string_view text);
+
+/// Renders a tree back to its canonical string ("racks=2,nodes=4,cores=8").
+[[nodiscard]] std::string format_topology(const std::vector<minimpi::TopologyLevel>& tree);
+
 /// Reads HDLS_SCHEDULE; falls back to `fallback` when unset or malformed
-/// (malformed values are reported via util::log_warn, mirroring how OpenMP
-/// runtimes treat bad OMP_SCHEDULE values).
+/// (malformed values are reported via util::log_warn).
 [[nodiscard]] HierConfig schedule_from_env(const HierConfig& fallback = HierConfig{});
 
 /// Reads HDLS_APPROACH; same fallback contract.
@@ -46,9 +74,15 @@ namespace hdls::core {
 /// disable, case-insensitive); same fallback contract.
 [[nodiscard]] bool trace_from_env(bool fallback = false);
 
-/// Reads HDLS_INTER_BACKEND ("centralized" | "sharded", case-insensitive);
-/// same fallback contract.
+/// Reads HDLS_INTER_BACKEND ("centralized" | "sharded", case-insensitive).
+/// Returns `fallback` when unset; throws std::invalid_argument when set to
+/// anything else (no silent fallback — see the file comment).
 [[nodiscard]] dls::InterBackend inter_backend_from_env(
     dls::InterBackend fallback = dls::InterBackend::Centralized);
+
+/// Reads HDLS_TOPOLOGY. Returns `fallback` when unset; throws
+/// std::invalid_argument when set but malformed (no silent fallback).
+[[nodiscard]] std::vector<minimpi::TopologyLevel> topology_from_env(
+    std::vector<minimpi::TopologyLevel> fallback = {});
 
 }  // namespace hdls::core

@@ -20,6 +20,7 @@
 #include "core/adaptive_queue.hpp"    // IWYU pragma: export
 #include "core/env_config.hpp"        // IWYU pragma: export
 #include "core/global_queue.hpp"      // IWYU pragma: export
+#include "core/hierarchy.hpp"         // IWYU pragma: export
 #include "core/inter_queue.hpp"       // IWYU pragma: export
 #include "core/hybrid_executor.hpp"   // IWYU pragma: export
 #include "core/local_queue.hpp"       // IWYU pragma: export
@@ -27,6 +28,7 @@
 #include "core/report.hpp"            // IWYU pragma: export
 #include "core/runner.hpp"            // IWYU pragma: export
 #include "core/sharded_queue.hpp"     // IWYU pragma: export
+#include "core/sharded_relay.hpp"     // IWYU pragma: export
 #include "core/types.hpp"             // IWYU pragma: export
 #include "core/work_source.hpp"       // IWYU pragma: export
 #include "trace/analysis.hpp"         // IWYU pragma: export

@@ -1,0 +1,171 @@
+#include "core/hierarchy.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "core/sharded_relay.hpp"
+#include "util/log.hpp"
+
+namespace hdls::core {
+
+namespace {
+
+[[nodiscard]] std::string level_label(const ResolvedHierarchy& rh, int d) {
+    return "level " + std::to_string(d) + " ('" +
+           rh.tree[static_cast<std::size_t>(d)].name + "')";
+}
+
+}  // namespace
+
+ClusterShape shape_from_topology(const std::vector<minimpi::TopologyLevel>& tree) {
+    if (tree.size() < 2) {
+        throw std::invalid_argument(
+            "topology: at least two levels are required (an inter level and the leaf)");
+    }
+    ClusterShape shape;
+    shape.workers_per_node = tree.back().fan_out;
+    shape.nodes = 1;
+    for (std::size_t d = 0; d + 1 < tree.size(); ++d) {
+        shape.nodes *= tree[d].fan_out;
+    }
+    return shape;
+}
+
+ResolvedHierarchy resolve_hierarchy(const ClusterShape& shape, const HierConfig& cfg) {
+    ResolvedHierarchy rh;
+    rh.tree = cfg.topology;
+    if (rh.tree.empty()) {
+        rh.tree = {{"nodes", shape.nodes}, {"cores", shape.workers_per_node}};
+    }
+    if (rh.tree.size() < 2) {
+        throw std::invalid_argument(
+            "topology: at least two levels are required (an inter level and the leaf)");
+    }
+    try {
+        rh.topology().validate();
+    } catch (const std::invalid_argument& e) {
+        throw std::invalid_argument(std::string("topology: ") + e.what());
+    }
+    if (rh.tree.back().fan_out != shape.workers_per_node) {
+        throw std::invalid_argument(
+            "topology: innermost fan-out (" + std::to_string(rh.tree.back().fan_out) +
+            ") must equal workers_per_node (" + std::to_string(shape.workers_per_node) + ")");
+    }
+    const std::int64_t product = rh.topology().tree_ranks();
+    if (product != shape.total_workers()) {
+        throw std::invalid_argument("topology: level fan-outs multiply to " +
+                                    std::to_string(product) + " but the cluster has " +
+                                    std::to_string(shape.total_workers()) + " workers");
+    }
+
+    const int depth = rh.depth();
+    if (cfg.levels.empty()) {
+        rh.levels.assign(static_cast<std::size_t>(depth),
+                         LevelConfig{cfg.inter, cfg.inter_backend});
+        rh.levels.back() = LevelConfig{cfg.intra, std::nullopt};
+    } else {
+        if (static_cast<int>(cfg.levels.size()) != depth) {
+            throw std::invalid_argument(
+                "levels: got " + std::to_string(cfg.levels.size()) +
+                " level configs for a depth-" + std::to_string(depth) + " topology");
+        }
+        rh.levels = cfg.levels;
+        for (int d = 0; d < depth - 1; ++d) {
+            auto& lc = rh.levels[static_cast<std::size_t>(d)];
+            if (!lc.backend) {
+                lc.backend = cfg.inter_backend;
+            }
+        }
+        rh.levels.back().backend.reset();
+    }
+
+    // Per-level capability checks + sharded fallback resolution, so the
+    // plan (and every report quoting it) states what actually runs.
+    {
+        auto& root = rh.levels.front();
+        if (!dls::supports_internode(root.technique)) {
+            throw std::invalid_argument(
+                std::string("level 0 technique ") +
+                std::string(dls::technique_name(root.technique)) +
+                " has neither a step-indexed nor a remaining-count-based distributed form");
+        }
+        if (root.backend == dls::InterBackend::Sharded &&
+            !dls::supports_sharded(root.technique)) {
+            util::log_warn("sharded backend cannot serve ",
+                           dls::technique_name(root.technique),
+                           " at level 0; falling back to the centralized queue");
+            root.backend = dls::InterBackend::Centralized;
+        }
+    }
+    for (int d = 1; d < depth - 1; ++d) {
+        auto& lc = rh.levels[static_cast<std::size_t>(d)];
+        if (lc.backend == dls::InterBackend::Sharded && !dls::supports_sharded(lc.technique)) {
+            util::log_warn("sharded backend cannot serve ",
+                           dls::technique_name(lc.technique), " at ", level_label(rh, d),
+                           "; falling back to the centralized relay");
+            lc.backend = dls::InterBackend::Centralized;
+        }
+        if (lc.backend == dls::InterBackend::Centralized &&
+            !dls::supports_step_indexed(lc.technique)) {
+            throw std::invalid_argument(
+                level_label(rh, d) + " technique " +
+                std::string(dls::technique_name(lc.technique)) +
+                " cannot relay parent chunks (needs a step-indexed or sharded form)");
+        }
+    }
+    return rh;
+}
+
+Hierarchy build_hierarchy(const minimpi::Comm& world, std::int64_t total_iterations,
+                          const ResolvedHierarchy& rh, const HierConfig& cfg,
+                          trace::WorkerTracer& tracer, bool include_leaf) {
+    // Coordinate math over the levels the ranks of `world` actually span:
+    // the full tree for MPI+MPI, the tree minus its thread-team leaf for
+    // the MPI+OpenMP masters.
+    std::vector<minimpi::TopologyLevel> span = rh.tree;
+    if (!include_leaf) {
+        span.pop_back();
+    }
+    const minimpi::Topology coords = minimpi::Topology::tree(span);
+    if (coords.tree_ranks() != world.size()) {
+        throw minimpi::Error(minimpi::ErrorCode::InvalidArgument,
+                             "build_hierarchy: topology does not match the world size");
+    }
+    const int rank = world.rank();
+    const int last = static_cast<int>(span.size()) - 1;
+
+    Hierarchy h;
+    {
+        // The root backend schedules [0, N) among the level-0 groups; the
+        // factory keys off HierConfig, so hand it the resolved level plan.
+        HierConfig root_cfg = cfg;
+        root_cfg.inter = rh.levels.front().technique;
+        root_cfg.inter_backend =
+            rh.levels.front().backend.value_or(dls::InterBackend::Centralized);
+        h.root_ = make_inter_queue(world, total_iterations, root_cfg, rh.tree.front().fan_out,
+                                   coords.coord_of(rank, 0));
+    }
+
+    WorkSource* parent = h.root_.get();
+    for (int d = 1; d <= last; ++d) {
+        const LevelConfig& lc = rh.levels[static_cast<std::size_t>(d)];
+        const int fan_out = rh.tree[static_cast<std::size_t>(d)].fan_out;
+        minimpi::Comm gcomm = world.split(coords.group_of(rank, d), rank);
+        std::unique_ptr<LevelQueue> queue;
+        if (lc.backend == dls::InterBackend::Sharded) {
+            queue = std::make_unique<ShardedRelayQueue>(gcomm, lc.technique, cfg.min_chunk,
+                                                        fan_out, coords.coord_of(rank, d));
+        } else {
+            queue = std::make_unique<NodeWorkQueue>(gcomm, lc.technique, cfg.min_chunk,
+                                                    fan_out);
+        }
+        auto composed = std::make_unique<ComposedWorkSource>(*queue, *parent, tracer, d);
+        parent = composed.get();
+        h.queues_.push_back(std::move(queue));
+        h.composed_.push_back(std::move(composed));
+    }
+    return h;
+}
+
+}  // namespace hdls::core

@@ -4,7 +4,8 @@
 #include <optional>
 #include <string>
 
-#include "core/adaptive_queue.hpp"
+#include "core/hierarchy.hpp"
+#include "dls/adaptive.hpp"
 #include "ompsim/team.hpp"
 
 namespace hdls::core {
@@ -16,17 +17,18 @@ using Clock = std::chrono::steady_clock;
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-[[nodiscard]] ompsim::ForOptions intra_schedule_or_throw(const HierConfig& cfg) {
-    if (const auto std_opt = ompsim::openmp_equivalent(cfg.intra)) {
+[[nodiscard]] ompsim::ForOptions intra_schedule_or_throw(const HierConfig& cfg,
+                                                         dls::Technique intra) {
+    if (const auto std_opt = ompsim::openmp_equivalent(intra)) {
         return *std_opt;
     }
     if (cfg.allow_extended_openmp_schedules) {
-        if (const auto ext = ompsim::extended_equivalent(cfg.intra)) {
+        if (const auto ext = ompsim::extended_equivalent(intra)) {
             return *ext;
         }
     }
     throw UnsupportedCombination(
-        std::string("MPI+OpenMP cannot schedule ") + std::string(dls::technique_name(cfg.intra)) +
+        std::string("MPI+OpenMP cannot schedule ") + std::string(dls::technique_name(intra)) +
         " at the intra-node level (the OpenMP schedule clause offers only static, dynamic and "
         "guided; enable allow_extended_openmp_schedules for the libGOMP-style extensions)");
 }
@@ -34,19 +36,15 @@ using Clock = std::chrono::steady_clock;
 
 std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx, int threads_per_node,
                                          std::int64_t n, const HierConfig& cfg,
-                                         const ChunkBody& body, trace::TraceSession* session) {
+                                         const ResolvedHierarchy& rh, const ChunkBody& body,
+                                         trace::TraceSession* session) {
     if (ctx.topology().ranks_per_node != 1) {
         throw UnsupportedCombination(
-            "run_hybrid_rank: the MPI+OpenMP model maps exactly one rank per node");
+            "run_hybrid_rank: the MPI+OpenMP model maps exactly one rank per leaf group");
     }
-    const ompsim::ForOptions schedule = intra_schedule_or_throw(cfg);
+    const dls::Technique intra = rh.levels.back().technique;
+    const ompsim::ForOptions schedule = intra_schedule_or_throw(cfg, intra);
     const minimpi::Comm& world = ctx.world();
-
-    // One rank per node: the world size is the node count and this rank's
-    // id is its node id, so the feedback slot is just ctx.node().
-    const auto global = make_inter_queue(world, n, cfg, world.size(), ctx.node());
-    const bool feedback = global->wants_feedback();
-    ompsim::ThreadTeam team(threads_per_node);
 
     std::vector<WorkerStats> stats(static_cast<std::size_t>(threads_per_node));
     std::vector<trace::WorkerTracer> tracers(static_cast<std::size_t>(threads_per_node));
@@ -59,11 +57,26 @@ std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx, int threads_per_
         }
     }
 
+    // The masters' chain: the tree truncated above the thread-team leaf.
+    // Depth 2 leaves just the root backend; deeper trees add relay levels
+    // whose ComposedWorkSources record the master's pop/refill events,
+    // level-tagged, on top of the acquire events the master records below.
+    Hierarchy hier =
+        build_hierarchy(world, n, rh, cfg, tracers[0], /*include_leaf=*/false);
+    WorkSource& chain = hier.top();
+    // The master plays the leaf's puller role: it records the acquire-side
+    // event for every chunk it pulls off the chain, tagged with the level
+    // it pulled from (the chain top's own level, or the root at depth 2) —
+    // exactly what a leaf ComposedWorkSource records under MPI+MPI.
+    const int pull_level = hier.top_composed() != nullptr ? hier.top_composed()->level() : 0;
+    const bool feedback = chain.wants_feedback();
+    ompsim::ThreadTeam team(threads_per_node);
+
     world.barrier();  // common start line
     const Clock::time_point t0 = Clock::now();
 
     // Shared between the team's threads within the region below.
-    std::optional<InterQueue::Chunk> current;
+    std::optional<WorkSource::Chunk> current;
     // Feedback bookkeeping (master thread only): the previous chunk's
     // bounds, when its execution started, and the acquire time that
     // obtained it (the overhead AWF-D/E fold into their rates).
@@ -81,7 +94,7 @@ std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx, int threads_per_
                 // fetching the next (funneled model — master talks to MPI).
                 if (feedback && current) {
                     const double elapsed = seconds_since(chunk_t0);
-                    global->report(current->size, elapsed, acquire_seconds);
+                    chain.report(current->size, elapsed, acquire_seconds);
                     if (tracing) {
                         tracer.instant(trace::EventKind::FeedbackReport, tracer.now(),
                                        current->size, dls::feedback_ns(elapsed));
@@ -89,14 +102,14 @@ std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx, int threads_per_
                 }
                 const double acq_t0 = tracing ? tracer.now() : 0.0;
                 const Clock::time_point a0 = Clock::now();
-                current = global->try_acquire();
+                current = chain.try_acquire();
                 acquire_seconds = seconds_since(a0);
                 chunk_t0 = Clock::now();
                 if (tracing) {
                     tracer.record(current && current->stolen ? trace::EventKind::Steal
                                                              : trace::EventKind::GlobalAcquire,
                                   acq_t0, tracer.now(), current ? current->start : 0,
-                                  current ? current->size : 0);
+                                  current ? current->size : 0, 0.0, pull_level);
                 }
                 if (current) {
                     ++mine.global_refills;
@@ -145,13 +158,18 @@ std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx, int threads_per_
                 tracer.record(trace::EventKind::BarrierWait, last_busy, tracer.now());
             }
         }
+        if (tid == 0) {
+            // Close chain-side wait spans (no-op at depth 2); the team's
+            // own Terminate events follow below.
+            hier.finish(/*terminate_top=*/false);
+        }
         if (tracing) {
             tracer.instant(trace::EventKind::Terminate, tracer.now());
         }
         mine.finish_seconds = seconds_since(t0);
     });
 
-    global->free();
+    hier.free();
     return stats;
 }
 

@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "core/hierarchy.hpp"
 #include "core/report.hpp"
 #include "core/types.hpp"
 #include "minimpi/minimpi.hpp"
@@ -29,13 +30,18 @@ public:
 
 /// Executes the calling node-master rank's share of the hierarchical loop
 /// [0, n) with a team of `threads_per_node` threads. Collective over
-/// ctx.world() (which must contain one rank per node, i.e. topology
-/// ranks_per_node == 1). Returns one WorkerStats per thread of this node.
-/// When `session` is non-null every thread records its chunk-lifecycle
-/// events under global worker id rank * threads_per_node + tid.
+/// ctx.world() (which must contain one rank per leaf group, i.e. topology
+/// ranks_per_node == 1). The masters pull chunks through the scheduling
+/// chain of `rh` truncated above its leaf (for the classic depth-2 tree
+/// that is just the root backend; deeper trees add relay levels between
+/// the masters), and the thread team workshares each chunk under the leaf
+/// technique. Returns one WorkerStats per thread of this node. When
+/// `session` is non-null every thread records its chunk-lifecycle events
+/// under global worker id rank * threads_per_node + tid.
 [[nodiscard]] std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx,
                                                        int threads_per_node, std::int64_t n,
                                                        const HierConfig& cfg,
+                                                       const ResolvedHierarchy& rh,
                                                        const ChunkBody& body,
                                                        trace::TraceSession* session = nullptr);
 

@@ -1,11 +1,12 @@
 #pragma once
 /// \file local_queue.hpp
-/// The *local (node-level) work queue* of the paper's Figure 1.
+/// The *local (node-level) work queue* of the paper's Figure 1 —
+/// generalized to serve any non-root level of a topology tree.
 ///
-/// One MPI_Win_allocate_shared window per compute node (hosted by node rank
-/// 0, directly addressable by every rank of the node communicator) holding
-/// a small FIFO of level-1 chunks plus, per chunk, the intra-node
-/// distributed chunk-calculation state (sub-step counter and scheduled
+/// One MPI_Win_allocate_shared window per group (hosted by group rank 0,
+/// directly addressable by every rank of the group communicator) holding a
+/// small FIFO of parent-level chunks plus, per chunk, the distributed
+/// chunk-calculation state of this level (sub-step counter and scheduled
 /// count). All queue accesses happen inside an MPI_Win_lock /
 /// MPI_Win_unlock exclusive epoch on the host rank — the exact
 /// synchronization whose lock-polling cost the paper's evaluation
@@ -14,9 +15,15 @@
 /// The refill protocol implements the paper's "the fastest MPI process
 /// always takes this responsibility": no designated refiller exists; a rank
 /// that finds the queue empty announces an in-flight refill (atomic
-/// counter), fetches a chunk from the global queue, and appends it. Ranks
-/// terminate only when the global queue is exhausted, the local queue is
-/// drained *and* no refill is in flight.
+/// counter), fetches a chunk from the parent level, and appends it. Ranks
+/// terminate only when the parent is exhausted, the queue is drained *and*
+/// no refill is in flight.
+///
+/// LevelQueue is the abstract face of this protocol: ComposedWorkSource
+/// (work_source.hpp) drives any implementation at any depth. Two exist —
+/// NodeWorkQueue here (the centralized shared FIFO) and ShardedRelayQueue
+/// (sharded_relay.hpp: per-child shards of every arriving chunk with
+/// work stealing between children).
 
 #include <chrono>
 #include <cstdint>
@@ -27,29 +34,79 @@
 
 namespace hdls::core {
 
-class NodeWorkQueue {
+/// A non-root level's relay queue: receives parent-level chunks and hands
+/// out sub-chunks sliced by this level's technique among its children.
+class LevelQueue {
 public:
-    /// One intra-node sub-chunk: execute [begin, end).
+    /// One sub-chunk: execute (or pass down) [begin, end). `stolen` marks
+    /// a share carved from a sibling child's shard (sharded relay only).
     struct SubChunk {
         std::int64_t begin = 0;
         std::int64_t end = 0;
+        bool stolen = false;
     };
 
-    /// Collective over the node communicator (from split_type(Shared)).
-    /// `intra` must have a step-indexed form; P in its formulas is the node
-    /// communicator size.
-    NodeWorkQueue(const minimpi::Comm& node_comm, dls::Technique intra, std::int64_t min_chunk)
-        : comm_(node_comm), capacity_(node_comm.size() + 4) {
-        if (!dls::supports_step_indexed(intra)) {
+    virtual ~LevelQueue() = default;
+
+    /// Grabs a sub-chunk already queued at this level, or std::nullopt
+    /// when no chunk currently holds unassigned work. When `lock_wait_s`
+    /// is non-null it receives the lock-grant latency of the access.
+    [[nodiscard]] virtual std::optional<SubChunk> try_pop(double* lock_wait_s) = 0;
+
+    /// Announce an in-flight refill *before* touching the parent level so
+    /// peers do not terminate while a chunk is on its way.
+    virtual void begin_refill() = 0;
+
+    /// Withdraw the announcement (the parent turned out to be empty).
+    virtual void end_refill() = 0;
+
+    /// Append a fresh parent chunk and immediately pop the caller's first
+    /// sub-chunk from it (single lock epoch), then withdraw the in-flight
+    /// announcement (on every exit path, including throws).
+    [[nodiscard]] virtual std::optional<SubChunk> push_and_pop(std::int64_t start,
+                                                               std::int64_t size,
+                                                               double* lock_wait_s) = 0;
+
+    /// True while any queued chunk still has unassigned iterations.
+    [[nodiscard]] virtual bool has_pending() = 0;
+
+    /// True while some rank is between begin_refill() and its completion.
+    [[nodiscard]] virtual bool refills_in_flight() = 0;
+
+    /// Sub-chunks popped through this handle (per-rank statistic).
+    [[nodiscard]] virtual std::int64_t popped() const noexcept = 0;
+
+    /// The technique slicing this level's chunks.
+    [[nodiscard]] virtual dls::Technique technique() const noexcept = 0;
+
+    /// Collective teardown over the level's communicator.
+    virtual void free() = 0;
+};
+
+class NodeWorkQueue final : public LevelQueue {
+public:
+    using SubChunk = LevelQueue::SubChunk;
+
+    /// Collective over the level communicator (split_type(Shared) for the
+    /// leaf level, a plain split for interior levels). `technique` must
+    /// have a step-indexed form. `level_workers` is P in its formulas —
+    /// the number of schedulable children at this level; 0 (the default)
+    /// means the communicator size, the paper's leaf-level convention.
+    NodeWorkQueue(const minimpi::Comm& comm, dls::Technique technique, std::int64_t min_chunk,
+                  int level_workers = 0)
+        : comm_(comm),
+          level_workers_(level_workers > 0 ? level_workers : comm.size()),
+          capacity_(comm.size() + 4) {
+        if (!dls::supports_step_indexed(technique)) {
             throw minimpi::Error(minimpi::ErrorCode::InvalidArgument,
                                  "NodeWorkQueue: technique lacks a step-indexed form");
         }
-        intra_ = intra;
+        technique_ = technique;
         min_chunk_ = min_chunk;
         const std::size_t cells = kSlotBase + kSlotFields * static_cast<std::size_t>(capacity_);
         window_ = minimpi::Window::allocate_shared(
-            node_comm, node_comm.rank() == 0 ? cells * sizeof(std::int64_t) : 0);
-        if (node_comm.rank() == 0) {
+            comm, comm.rank() == 0 ? cells * sizeof(std::int64_t) : 0);
+        if (comm.rank() == 0) {
             auto mem = window_.shared_span<std::int64_t>(0);
             for (auto& v : mem) {
                 v = 0;
@@ -64,34 +121,34 @@ public:
     /// When `lock_wait_s` is non-null it receives the seconds between the
     /// lock request and its grant (the contention quantity the tracing
     /// subsystem reports); timing is only taken when requested.
-    [[nodiscard]] std::optional<SubChunk> try_pop(double* lock_wait_s = nullptr) {
+    [[nodiscard]] std::optional<SubChunk> try_pop(double* lock_wait_s = nullptr) override {
         lock_timed(lock_wait_s);
         const auto sub = pop_locked();
         window_.unlock(kHost);
         return sub;
     }
 
-    /// Announce an in-flight refill *before* touching the global queue so
+    /// Announce an in-flight refill *before* touching the parent level so
     /// peers do not terminate while a chunk is on its way.
-    void begin_refill() {
+    void begin_refill() override {
         (void)window_.fetch_and_op<std::int64_t>(1, kHost, kInflight,
                                                  minimpi::AccumulateOp::Sum);
     }
 
-    /// Withdraw the announcement (global queue turned out to be empty).
-    void end_refill() {
+    /// Withdraw the announcement (the parent turned out to be empty).
+    void end_refill() override {
         (void)window_.fetch_and_op<std::int64_t>(-1, kHost, kInflight,
                                                  minimpi::AccumulateOp::Sum);
     }
 
-    /// Stage 1+2 combined: append a fresh level-1 chunk and immediately pop
+    /// Stage 1+2 combined: append a fresh parent chunk and immediately pop
     /// this rank's first sub-chunk from it (single lock epoch), then
     /// withdraw the in-flight announcement. The announcement is released on
     /// *every* exit path, including the capacity-exceeded throw — leaving
     /// it raised would keep kInflight > 0 forever and spin every peer rank
     /// in the termination protocol.
     [[nodiscard]] std::optional<SubChunk> push_and_pop(std::int64_t start, std::int64_t size,
-                                                       double* lock_wait_s = nullptr) {
+                                                       double* lock_wait_s = nullptr) override {
         const RefillAnnouncementGuard release(*this);
         lock_timed(lock_wait_s);
         auto mem = window_.shared_span<std::int64_t>(kHost);
@@ -114,7 +171,7 @@ public:
     }
 
     /// True while any chunk in the queue still has unassigned iterations.
-    [[nodiscard]] bool has_pending() {
+    [[nodiscard]] bool has_pending() override {
         window_.lock(minimpi::LockType::Shared, kHost);
         auto mem = window_.shared_span<std::int64_t>(kHost);
         bool pending = false;
@@ -130,18 +187,18 @@ public:
     }
 
     /// True while some rank is between begin_refill() and its completion.
-    [[nodiscard]] bool refills_in_flight() {
+    [[nodiscard]] bool refills_in_flight() override {
         return window_.atomic_read<std::int64_t>(kHost, kInflight) > 0;
     }
 
     /// Sub-chunks popped through this handle (per-rank statistic).
-    [[nodiscard]] std::int64_t popped() const noexcept { return popped_; }
+    [[nodiscard]] std::int64_t popped() const noexcept override { return popped_; }
 
-    /// The intra-node technique slicing the queued chunks.
-    [[nodiscard]] dls::Technique technique() const noexcept { return intra_; }
+    /// The technique slicing the queued chunks.
+    [[nodiscard]] dls::Technique technique() const noexcept override { return technique_; }
 
     /// Collective teardown.
-    void free() {
+    void free() override {
         comm_.barrier();
         window_.free();
     }
@@ -172,7 +229,7 @@ private:
             std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     }
 
-    static constexpr int kHost = 0;  // node rank hosting the queue memory
+    static constexpr int kHost = 0;  // group rank hosting the queue memory
     static constexpr std::size_t kHead = 0;
     static constexpr std::size_t kTail = 1;
     static constexpr std::size_t kInflight = 2;
@@ -202,9 +259,9 @@ private:
             }
             dls::LoopParams p;
             p.total_iterations = size;
-            p.workers = comm_.size();
+            p.workers = level_workers_;
             p.min_chunk = min_chunk_;
-            const std::int64_t hint = dls::chunk_size_for_step(intra_, p, slot[kSubStep]);
+            const std::int64_t hint = dls::chunk_size_for_step(technique_, p, slot[kSubStep]);
             if (hint <= 0) {
                 // Defensive: a formula that runs dry before the chunk is
                 // fully assigned (cannot happen for the supported
@@ -213,22 +270,23 @@ private:
                 slot[kSubScheduled] = size;
                 ++slot[kSubStep];
                 ++popped_;
-                return SubChunk{begin, slot[kChunkStart] + size};
+                return SubChunk{begin, slot[kChunkStart] + size, false};
             }
             const std::int64_t take = std::min(hint, size - scheduled);
             slot[kSubScheduled] = scheduled + take;
             ++slot[kSubStep];
             ++popped_;
             const std::int64_t begin = slot[kChunkStart] + scheduled;
-            return SubChunk{begin, begin + take};
+            return SubChunk{begin, begin + take, false};
         }
         return std::nullopt;
     }
 
     minimpi::Comm comm_;
     minimpi::Window window_;
-    dls::Technique intra_{};
+    dls::Technique technique_{};
     std::int64_t min_chunk_ = 1;
+    int level_workers_ = 0;
     std::int64_t capacity_ = 0;
     std::int64_t popped_ = 0;
 };

@@ -2,8 +2,7 @@
 
 #include <chrono>
 
-#include "core/inter_queue.hpp"
-#include "core/local_queue.hpp"
+#include "core/hierarchy.hpp"
 #include "core/work_source.hpp"
 #include "dls/adaptive.hpp"
 
@@ -19,34 +18,35 @@ using Clock = std::chrono::steady_clock;
 }  // namespace
 
 WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierConfig& cfg,
-                             const ChunkBody& body, trace::WorkerTracer tracer) {
+                             const ResolvedHierarchy& rh, const ChunkBody& body,
+                             trace::WorkerTracer tracer) {
     const minimpi::Comm& world = ctx.world();
-    // MPI_Comm_split_type(MPI_COMM_TYPE_SHARED): the ranks of my node.
-    const minimpi::Comm node = world.split_type(minimpi::SplitType::Shared, world.rank());
 
-    const auto global = make_inter_queue(world, n, cfg, ctx.nodes(), ctx.node());
-    NodeWorkQueue local(node, cfg.intra, cfg.min_chunk);
+    // The rank's view of the scheduling hierarchy: the root backend plus
+    // one relay queue per deeper tree level (the leaf being the paper's
+    // node-local shared queue), every acquisition protocol (pop, refill,
+    // steal-aware tracing, termination) inside the ComposedWorkSource
+    // chain.
+    Hierarchy hier = build_hierarchy(world, n, rh, cfg, tracer, /*include_leaf=*/true);
+    ComposedWorkSource& source = *hier.top_composed();
 
     WorkerStats stats;
     stats.node = ctx.node();
-    stats.worker_in_node = node.rank();
+    stats.worker_in_node = world.rank() % ctx.topology().ranks_per_node;
 
     const bool tracing = tracer.enabled();
-    const bool feedback = global->wants_feedback();
-
-    world.barrier();  // common start line
-    const Clock::time_point t0 = Clock::now();
+    const bool feedback = hier.root().wants_feedback();
 
     // Adaptive feedback is accumulated locally per executed sub-chunk and
     // flushed (three fetch-and-op sums) only when it can influence a
-    // scheduling decision — right before a global acquire, and once at
+    // scheduling decision — right before a root acquire, and once at
     // termination. Reporting per sub-chunk would put per-iteration RMA
-    // traffic on the rank-0 window under fine-grained intra techniques.
+    // traffic on the root window under fine-grained leaf techniques.
     // `sched_mark` is where the current scheduling span began (loop start
     // or the previous body's end), so the span up to the body's start is
     // the chunk's attributable overhead — the quantity AWF-D/E fold into
     // their rates.
-    Clock::time_point sched_mark = t0;
+    Clock::time_point sched_mark{};
     std::int64_t pending_iters = 0;
     double pending_busy = 0.0;
     double pending_overhead = 0.0;
@@ -55,7 +55,7 @@ WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierCo
         if (!feedback || pending_iters == 0) {
             return;
         }
-        global->report(pending_iters, pending_busy, pending_overhead);
+        hier.root().report(pending_iters, pending_busy, pending_overhead);
         if (tracing) {
             tracer.instant(trace::EventKind::FeedbackReport, tracer.now(), pending_iters,
                            dls::feedback_ns(pending_busy));
@@ -64,11 +64,11 @@ WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierCo
         pending_busy = 0.0;
         pending_overhead = 0.0;
     };
+    hier.set_feedback_flush(flush_feedback);
 
-    // The rank's view of the scheduling hierarchy: the node queue stacked
-    // on the level-1 source, every acquisition protocol (pop, refill,
-    // steal-aware tracing, termination) inside LocalWorkSource.
-    LocalWorkSource source(local, *global, tracer, flush_feedback);
+    world.barrier();  // common start line
+    const Clock::time_point t0 = Clock::now();
+    sched_mark = t0;
 
     while (const auto sub = source.try_acquire()) {
         if (tracing) {
@@ -94,12 +94,12 @@ WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierCo
         }
     }
     flush_feedback();  // final accounting for chunks executed since the last refill
-    source.finish();
+    hier.finish();
 
     stats.global_refills = source.refills();
     stats.finish_seconds = seconds_since(t0);
 
-    source.free();  // the node queue, then the level-1 source
+    hier.free();  // every level's queue, then the root
     return stats;
 }
 

@@ -11,6 +11,7 @@
 /// exists anywhere, which is the property Figures 3/5/6/7 credit for the
 /// MPI+MPI wins with intra-node STATIC.
 
+#include "core/hierarchy.hpp"
 #include "core/report.hpp"
 #include "core/types.hpp"
 #include "minimpi/minimpi.hpp"
@@ -18,14 +19,17 @@
 
 namespace hdls::core {
 
-/// Executes the calling rank's share of the hierarchical loop [0, n).
-/// Collective over ctx.world(); every rank must call it with identical
-/// arguments. Returns this rank's statistics (finish time is measured from
-/// the common post-setup barrier). A default-constructed (disabled)
-/// `tracer` records nothing and costs nothing; an enabled one records the
-/// rank's chunk-lifecycle events.
+/// Executes the calling rank's share of the hierarchical loop [0, n)
+/// through the scheduling chain `rh` describes (any depth; the classic
+/// two-level run is the {nodes, cores} instance). Collective over
+/// ctx.world(); every rank must call it with identical arguments. Returns
+/// this rank's statistics (finish time is measured from the common
+/// post-setup barrier). A default-constructed (disabled) `tracer` records
+/// nothing and costs nothing; an enabled one records the rank's
+/// chunk-lifecycle events, level-tagged.
 [[nodiscard]] WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n,
-                                           const HierConfig& cfg, const ChunkBody& body,
+                                           const HierConfig& cfg, const ResolvedHierarchy& rh,
+                                           const ChunkBody& body,
                                            trace::WorkerTracer tracer = {});
 
 }  // namespace hdls::core

@@ -52,7 +52,20 @@ void ExecutionReport::print(std::ostream& os) const {
         os << " (" << dls::inter_backend_name(inter_backend) << ")";
     }
     os << "  nodes=" << shape.nodes
-       << " workers/node=" << shape.workers_per_node << " N=" << total_iterations << "\n"
+       << " workers/node=" << shape.workers_per_node << " N=" << total_iterations << "\n";
+    if (topology.size() > 2) {
+        os << "  hierarchy:";
+        for (std::size_t d = 0; d < topology.size(); ++d) {
+            os << (d == 0 ? " " : " -> ") << topology[d].name << "=" << topology[d].fan_out
+               << " [" << dls::technique_name(levels[d].technique);
+            if (levels[d].backend) {
+                os << "/" << dls::inter_backend_name(*levels[d].backend);
+            }
+            os << "]";
+        }
+        os << "\n";
+    }
+    os
        << "  parallel time: " << util::format_seconds(parallel_seconds)
        << "  finish CoV: " << util::format_double(finish_cov(), 4)
        << "  global chunks: " << global_chunks()

@@ -28,9 +28,16 @@ struct WorkerStats {
 struct ExecutionReport {
     Approach approach{};
     ClusterShape shape{};
+    /// Level-0 and leaf techniques (the paper's "X + Y" shorthand; equal
+    /// to levels.front()/levels.back()).
     dls::Technique inter{};
     dls::Technique intra{};
     dls::InterBackend inter_backend{};
+    /// The machine tree the run scheduled over (outermost level first) and
+    /// the effective per-level plan — what resolve_hierarchy produced,
+    /// sharded fallbacks already applied.
+    std::vector<minimpi::TopologyLevel> topology;
+    std::vector<LevelConfig> levels;
     std::int64_t total_iterations = 0;
     double parallel_seconds = 0.0;  ///< max worker finish time (the paper's metric)
     std::vector<WorkerStats> workers;

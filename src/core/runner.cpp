@@ -1,12 +1,12 @@
 #include "core/runner.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
 
-#include <memory>
-
+#include "core/hierarchy.hpp"
 #include "core/hybrid_executor.hpp"
 #include "core/inter_queue.hpp"
 #include "core/mpi_mpi_executor.hpp"
@@ -16,23 +16,17 @@
 
 namespace hdls::core {
 
-void validate_combination(const ClusterShape& shape, Approach approach, const HierConfig& cfg) {
-    if (shape.nodes < 1 || shape.workers_per_node < 1) {
-        throw std::invalid_argument("run_hierarchical: cluster shape must be positive");
-    }
-    if (cfg.min_chunk < 1) {
-        throw std::invalid_argument("run_hierarchical: min_chunk must be >= 1");
-    }
-    if (!dls::supports_internode(cfg.inter)) {
-        throw std::invalid_argument(
-            std::string("run_hierarchical: inter-node technique ") +
-            std::string(dls::technique_name(cfg.inter)) +
-            " has neither a step-indexed nor a remaining-count-based distributed form");
-    }
+namespace {
+
+/// The checks that need the resolved per-level plan; shared between
+/// validate_combination and run_hierarchical so a run resolves (and logs
+/// any per-level fallback) exactly once.
+void validate_resolved(Approach approach, const HierConfig& cfg, const ResolvedHierarchy& rh) {
     if (!cfg.node_weights.empty() &&
-        cfg.node_weights.size() != static_cast<std::size_t>(shape.nodes)) {
+        cfg.node_weights.size() != static_cast<std::size_t>(rh.tree.front().fan_out)) {
         throw std::invalid_argument(
-            "run_hierarchical: node_weights size must equal the node count");
+            "run_hierarchical: node_weights size must equal the number of level-0 entities (" +
+            std::to_string(rh.tree.front().fan_out) + ")");
     }
     for (const double w : cfg.node_weights) {
         if (w < 0.0) {
@@ -45,33 +39,62 @@ void validate_combination(const ClusterShape& shape, Approach approach, const Hi
     if (cfg.fac_mu <= 0.0) {
         throw std::invalid_argument("run_hierarchical: fac_mu must be > 0");
     }
+    const dls::Technique leaf = rh.levels.back().technique;
     switch (approach) {
         case Approach::MpiMpi:
-            if (!dls::supports_step_indexed(cfg.intra)) {
+            if (!dls::supports_step_indexed(leaf)) {
                 throw std::invalid_argument(
                     std::string("run_hierarchical: intra-node technique ") +
-                    std::string(dls::technique_name(cfg.intra)) +
+                    std::string(dls::technique_name(leaf)) +
                     " lacks a step-indexed form (required by the MPI+MPI local queue)");
             }
             break;
         case Approach::MpiOpenMp: {
             const bool expressible =
-                ompsim::openmp_equivalent(cfg.intra).has_value() ||
+                ompsim::openmp_equivalent(leaf).has_value() ||
                 (cfg.allow_extended_openmp_schedules &&
-                 ompsim::extended_equivalent(cfg.intra).has_value());
+                 ompsim::extended_equivalent(leaf).has_value());
             if (!expressible) {
                 throw UnsupportedCombination(
                     std::string("run_hierarchical: MPI+OpenMP cannot schedule ") +
-                    std::string(dls::technique_name(cfg.intra)) + " at the intra-node level");
+                    std::string(dls::technique_name(leaf)) + " at the intra-node level");
             }
             break;
         }
     }
 }
 
+/// Shape/scalar checks plus the topology resolution, returning the plan.
+[[nodiscard]] ResolvedHierarchy validate_and_resolve(const ClusterShape& shape,
+                                                     Approach approach,
+                                                     const HierConfig& cfg) {
+    if (shape.nodes < 1 || shape.workers_per_node < 1) {
+        throw std::invalid_argument("run_hierarchical: cluster shape must be positive");
+    }
+    if (cfg.min_chunk < 1) {
+        throw std::invalid_argument("run_hierarchical: min_chunk must be >= 1");
+    }
+    // Topology tree + per-level plan: fan-outs, products, level count and
+    // interior technique capabilities (throws its own one-line errors).
+    ResolvedHierarchy rh;
+    try {
+        rh = resolve_hierarchy(shape, cfg);
+    } catch (const std::invalid_argument& e) {
+        throw std::invalid_argument(std::string("run_hierarchical: ") + e.what());
+    }
+    validate_resolved(approach, cfg, rh);
+    return rh;
+}
+
+}  // namespace
+
+void validate_combination(const ClusterShape& shape, Approach approach, const HierConfig& cfg) {
+    (void)validate_and_resolve(shape, approach, cfg);
+}
+
 ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
                                  const HierConfig& cfg, std::int64_t n, const ChunkBody& body) {
-    validate_combination(shape, approach, cfg);
+    const ResolvedHierarchy rh = validate_and_resolve(shape, approach, cfg);
     if (n < 0) {
         throw std::invalid_argument("run_hierarchical: n must be >= 0");
     }
@@ -82,9 +105,12 @@ ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
     ExecutionReport report;
     report.approach = approach;
     report.shape = shape;
-    report.inter = cfg.inter;
-    report.intra = cfg.intra;
-    report.inter_backend = effective_inter_backend(cfg);
+    report.inter = rh.levels.front().technique;
+    report.intra = rh.levels.back().technique;
+    report.inter_backend =
+        rh.levels.front().backend.value_or(dls::InterBackend::Centralized);
+    report.topology = rh.tree;
+    report.levels = rh.levels;
     report.total_iterations = n;
     report.workers.assign(static_cast<std::size_t>(shape.total_workers()), WorkerStats{});
 
@@ -100,21 +126,22 @@ ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
 
     switch (approach) {
         case Approach::MpiMpi: {
-            minimpi::Topology topo{shape.workers_per_node};
+            const minimpi::Topology topo = rh.topology();
             minimpi::Runtime::run(shape.total_workers(), topo, [&](minimpi::Context& ctx) {
                 const trace::WorkerTracer tracer =
                     session ? session->tracer(ctx.rank(), ctx.node()) : trace::WorkerTracer{};
-                const WorkerStats stats = run_mpi_mpi_rank(ctx, n, cfg, body, tracer);
+                const WorkerStats stats = run_mpi_mpi_rank(ctx, n, cfg, rh, body, tracer);
                 const std::lock_guard<std::mutex> lock(merge_mutex);
                 report.workers[static_cast<std::size_t>(ctx.rank())] = stats;
             });
             break;
         }
         case Approach::MpiOpenMp: {
-            minimpi::Topology topo{1};  // one master rank per node
+            minimpi::Topology topo;  // one master rank per leaf group
+            topo.ranks_per_node = 1;
             minimpi::Runtime::run(shape.nodes, topo, [&](minimpi::Context& ctx) {
-                const auto stats =
-                    run_hybrid_rank(ctx, shape.workers_per_node, n, cfg, body, session.get());
+                const auto stats = run_hybrid_rank(ctx, shape.workers_per_node, n, cfg, rh,
+                                                   body, session.get());
                 const std::lock_guard<std::mutex> lock(merge_mutex);
                 for (int t = 0; t < shape.workers_per_node; ++t) {
                     report.workers[static_cast<std::size_t>(
@@ -128,8 +155,8 @@ ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
 
     if (session) {
         report.trace = session->finish({.approach = std::string(approach_name(approach)),
-                                        .inter = std::string(dls::technique_name(cfg.inter)),
-                                        .intra = std::string(dls::technique_name(cfg.intra)),
+                                        .inter = std::string(dls::technique_name(report.inter)),
+                                        .intra = std::string(dls::technique_name(report.intra)),
                                         .nodes = shape.nodes,
                                         .workers_per_node = shape.workers_per_node,
                                         .total_iterations = n});

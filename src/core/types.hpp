@@ -9,8 +9,12 @@
 
 #include "dls/sharding.hpp"
 #include "dls/technique.hpp"
+#include "minimpi/topology.hpp"
 
 namespace hdls::core {
+
+/// Per-level scheduling choice of a topology tree (see HierConfig::levels).
+using LevelConfig = dls::LevelScheme;
 
 /// Which hierarchical implementation executes the loop.
 enum class Approach {
@@ -72,6 +76,22 @@ struct HierConfig {
     /// bootstrap batch, matching the theory for variance-free loops.
     double fac_sigma = 0.0;
     double fac_mu = 1.0;
+    /// Machine tree the scheduling hierarchy follows, outermost level
+    /// first (e.g. racks=2, nodes=4, cores=8). Empty means the classic
+    /// two-level {nodes, cores} tree derived from the ClusterShape. When
+    /// set, the fan-outs must multiply to the shape's total worker count
+    /// and the innermost fan-out must equal shape.workers_per_node.
+    /// Env: HDLS_TOPOLOGY ("name=fanout,name=fanout,...").
+    std::vector<minimpi::TopologyLevel> topology;
+    /// Per-level technique/backend choices, one per topology level: level
+    /// 0 schedules the root (whole loop) among the outermost groups, the
+    /// last level slices within the innermost (shared-memory) group.
+    /// Empty derives {inter + inter_backend, [inter + inter_backend ...,]
+    /// intra} for the tree's depth; when set, the size must equal the
+    /// depth, and `inter`/`intra` are ignored. A level with an unset
+    /// backend inherits `inter_backend` (interior levels only; the leaf
+    /// level is always the shared local queue).
+    std::vector<LevelConfig> levels;
 };
 
 /// Loop body executed chunk-wise. MUST be thread-safe across disjoint

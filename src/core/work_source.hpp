@@ -4,14 +4,15 @@
 /// scheduling hierarchy.
 ///
 /// The paper's two hard-coded levels (an inter-node queue feeding an
-/// intra-node queue) generalize to a chain of WorkSources: a source hands
-/// out chunks, and a *composed* source (LocalWorkSource) slices the chunks
-/// of its parent through a node-local queue. Level 1 is served by any of
-/// the three inter-node backends — GlobalWorkQueue, AdaptiveGlobalQueue
-/// (both centralized on rank 0) or ShardedInterQueue (one window per node
-/// with CAS work stealing) — selected by make_inter_queue from
-/// HierConfig::inter_backend; level 2 wraps the NodeWorkQueue. Executors
-/// only ever talk to the top of the chain.
+/// intra-node queue) generalize to a chain of WorkSources built along the
+/// machine's topology tree: the root is served by any of the three
+/// inter-backends — GlobalWorkQueue, AdaptiveGlobalQueue (both centralized
+/// on rank 0) or ShardedInterQueue (one window per entity with CAS work
+/// stealing) — and every deeper level is a ComposedWorkSource that slices
+/// the chunks of its parent through that level's relay queue (LevelQueue:
+/// the centralized NodeWorkQueue or the work-stealing ShardedRelayQueue).
+/// core::build_hierarchy (hierarchy.hpp) assembles the chain from a
+/// topology spec; executors only ever talk to the top of the chain.
 
 #include <cstdint>
 #include <functional>
@@ -31,9 +32,9 @@ public:
         std::int64_t start = 0;
         std::int64_t size = 0;
         std::int64_t step = 0;
-        /// True when the chunk was carved from a peer node's shard (the
-        /// sharded backend's work stealing); executors record it as a
-        /// Steal rather than a GlobalAcquire trace event.
+        /// True when the chunk was carved from a peer's share (the sharded
+        /// backends' work stealing); executors and composed sources record
+        /// it as a Steal rather than a GlobalAcquire trace event.
         bool stolen = false;
     };
 
@@ -68,25 +69,34 @@ public:
     virtual void free() = 0;
 };
 
-/// Level-2 source of the MPI+MPI executor: pops sub-chunks from the
-/// node-local queue and, when it drains, refills it from the parent
+/// A non-root level of the scheduling hierarchy: pops sub-chunks from the
+/// level's relay queue and, when it drains, refills it from the parent
 /// source under the paper's "fastest rank refills" protocol — including
 /// the termination condition (parent exhausted, queue drained, no refill
-/// in flight). Records the full chunk-lifecycle trace (LocalPop,
-/// RefillBegin/End, GlobalAcquire/Steal, coalesced BarrierWait) exactly
-/// as the executor's inlined loop used to.
-class LocalWorkSource final : public WorkSource {
+/// in flight). Works at any depth: the parent may be the root backend or
+/// another ComposedWorkSource. Records the full chunk-lifecycle trace
+/// (LocalPop, RefillBegin/End, GlobalAcquire/Steal, coalesced
+/// BarrierWait), each event tagged with its hierarchy level: pops and
+/// refills carry this source's level, parent acquisitions the parent's.
+class ComposedWorkSource final : public WorkSource {
 public:
+    /// `level` is this source's depth in the tree (>= 1; the root is 0).
     /// `before_refill` (optional) runs right before every parent acquire —
-    /// the executors flush accumulated adaptive feedback there, so rates
-    /// are published before the next level-1 decision.
-    LocalWorkSource(NodeWorkQueue& local, WorkSource& parent, trace::WorkerTracer& tracer,
-                    std::function<void()> before_refill = {})
+    /// the executors flush accumulated adaptive feedback there (attached
+    /// to the level-1 source, so rates are published before the next root
+    /// decision); it can also be attached later via set_before_refill.
+    ComposedWorkSource(LevelQueue& local, WorkSource& parent, trace::WorkerTracer& tracer,
+                       int level, std::function<void()> before_refill = {})
         : local_(local),
           parent_(parent),
           tracer_(tracer),
           tracing_(tracer.enabled()),
+          level_(level),
           before_refill_(std::move(before_refill)) {}
+
+    /// Attaches the pre-acquire callback after construction (the feedback
+    /// flush needs the fully-built chain to exist first).
+    void set_before_refill(std::function<void()> fn) { before_refill_ = std::move(fn); }
 
     [[nodiscard]] std::optional<Chunk> try_acquire() override {
         for (;;) {
@@ -96,7 +106,7 @@ public:
             // one BarrierWait event — and the per-poll LocalPop /
             // GlobalAcquire probes are muted.
             const bool record_probe = tracing_ && wait_start_ < 0.0;
-            // Stage 2 first: the node queue may already hold sub-chunks.
+            // Stage 2 first: the level queue may already hold sub-chunks.
             double pop_t0 = 0.0;
             double lock_wait = 0.0;
             if (tracing_) {
@@ -105,19 +115,24 @@ public:
             if (const auto sub = local_.try_pop(tracing_ ? &lock_wait : nullptr)) {
                 if (tracing_) {
                     close_wait(pop_t0);
+                    // Every pop epoch is a LocalPop at this level; a pop
+                    // that carved a sibling's shard (sharded relay) keeps
+                    // its `stolen` flag on the returned chunk, and the
+                    // *puller* one level down records it as the level's
+                    // Steal — one acquire-side event per transfer.
                     tracer_.record(trace::EventKind::LocalPop, pop_t0, tracer_.now(),
-                                   sub->begin, sub->end, lock_wait);
+                                   sub->begin, sub->end, lock_wait, level_);
                 }
                 return as_chunk(*sub);
             }
             if (record_probe) {
                 tracer_.record(trace::EventKind::LocalPop, pop_t0, tracer_.now(), -1, -1,
-                               lock_wait);
+                               lock_wait, level_);
             }
             // Queue drained: this rank happens to be the fastest — refill.
             local_.begin_refill();
             if (record_probe) {
-                tracer_.instant(trace::EventKind::RefillBegin, tracer_.now());
+                tracer_.instant(trace::EventKind::RefillBegin, tracer_.now(), 0, 0, level_);
             }
             if (before_refill_) {
                 before_refill_();
@@ -128,7 +143,8 @@ public:
                     close_wait(acq_t0);
                     tracer_.record(chunk->stolen ? trace::EventKind::Steal
                                                  : trace::EventKind::GlobalAcquire,
-                                   acq_t0, tracer_.now(), chunk->start, chunk->size);
+                                   acq_t0, tracer_.now(), chunk->start, chunk->size, 0.0,
+                                   level_ - 1);
                 }
                 ++refills_;
                 double push_t0 = 0.0;
@@ -140,9 +156,10 @@ public:
                                                      tracing_ ? &push_wait : nullptr);
                 if (tracing_) {
                     tracer_.record(trace::EventKind::LocalPop, push_t0, tracer_.now(),
-                                   sub ? sub->begin : -1, sub ? sub->end : -1, push_wait);
+                                   sub ? sub->begin : -1, sub ? sub->end : -1, push_wait,
+                                   level_);
                     tracer_.instant(trace::EventKind::RefillEnd, tracer_.now(), chunk->start,
-                                    chunk->size);
+                                    chunk->size, level_);
                 }
                 if (sub) {
                     return as_chunk(*sub);
@@ -150,11 +167,12 @@ public:
                 continue;
             }
             if (record_probe) {
-                tracer_.record(trace::EventKind::GlobalAcquire, acq_t0, tracer_.now(), 0, 0);
+                tracer_.record(trace::EventKind::GlobalAcquire, acq_t0, tracer_.now(), 0, 0,
+                               0.0, level_ - 1);
             }
             local_.end_refill();
             if (record_probe) {
-                tracer_.instant(trace::EventKind::RefillEnd, tracer_.now(), 0, 0);
+                tracer_.instant(trace::EventKind::RefillEnd, tracer_.now(), 0, 0, level_);
             }
             // Parent exhausted. Terminate only when no peer is mid-refill
             // and nothing is left to pop, otherwise work could still appear.
@@ -184,28 +202,32 @@ public:
         return local_.technique();
     }
 
+    /// This source's depth in the hierarchy (the root is 0).
+    [[nodiscard]] int level() const noexcept { return level_; }
+
     /// Parent chunks this handle pulled down (the rank's refill count).
     [[nodiscard]] std::int64_t refills() const noexcept { return refills_; }
 
-    /// Closes any open wait span and marks the worker's departure from the
-    /// scheduling loop; call once after the final try_acquire().
-    void finish() {
+    /// Closes any open wait span and, when `terminate` is set, marks the
+    /// worker's departure from the scheduling loop; call once per source
+    /// after the final try_acquire() (Terminate only on the chain's top).
+    void finish(bool terminate = true) {
         close_wait(tracer_.now());
-        if (tracing_) {
+        if (tracing_ && terminate) {
             tracer_.instant(trace::EventKind::Terminate, tracer_.now());
         }
     }
 
-    /// Frees the whole chain: the node queue, then the parent.
+    /// Frees the whole chain: this level's queue, then the parent.
     void free() override {
         local_.free();
         parent_.free();
     }
 
 private:
-    [[nodiscard]] Chunk as_chunk(const NodeWorkQueue::SubChunk& sub) const noexcept {
-        // The sub-chunk index doubles as the level-2 step id.
-        return Chunk{sub.begin, sub.end - sub.begin, local_.popped() - 1, false};
+    [[nodiscard]] Chunk as_chunk(const LevelQueue::SubChunk& sub) const noexcept {
+        // The sub-chunk index doubles as this level's step id.
+        return Chunk{sub.begin, sub.end - sub.begin, local_.popped() - 1, sub.stolen};
     }
 
     /// `end` is the start of the transaction that found work, so the wait
@@ -217,10 +239,11 @@ private:
         }
     }
 
-    NodeWorkQueue& local_;
+    LevelQueue& local_;
     WorkSource& parent_;
     trace::WorkerTracer& tracer_;
     bool tracing_ = false;
+    int level_ = 1;
     std::function<void()> before_refill_;
     std::int64_t refills_ = 0;
     double wait_start_ = -1.0;

@@ -39,6 +39,16 @@ enum class InterBackend {
 /// Canonical lower-case name ("centralized" / "sharded").
 [[nodiscard]] std::string_view inter_backend_name(InterBackend b) noexcept;
 
+/// Scheduling choice of one level of a topology tree: the technique that
+/// partitions a group's work among its children, and (for levels backed by
+/// a queue window) which backend implementation serves it. An unset
+/// backend inherits the run's default (HierConfig/SimConfig::inter_backend
+/// for interior levels; the leaf level is always the shared local queue).
+struct LevelScheme {
+    Technique technique = Technique::GSS;
+    std::optional<InterBackend> backend;
+};
+
 /// Parses a canonical name (case-insensitive); std::nullopt if unknown.
 [[nodiscard]] std::optional<InterBackend> inter_backend_from_string(
     std::string_view name) noexcept;

@@ -30,7 +30,7 @@ void Runtime::run(int world_size, const Topology& topology,
     if (world_size < 1) {
         throw Error(ErrorCode::InvalidArgument, "minimpi: world_size must be >= 1");
     }
-    topology.validate();
+    topology.validate_world(world_size);
     if (!fn) {
         throw Error(ErrorCode::InvalidArgument, "minimpi: rank function must not be empty");
     }

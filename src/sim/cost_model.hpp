@@ -23,6 +23,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "minimpi/topology.hpp"
+
 namespace hdls::sim {
 
 /// All times in seconds (suffix _us marks knobs expressed in microseconds
@@ -53,8 +55,22 @@ struct CostModel {
     double omp_barrier_per_thread_us = 0.08;
     /// Chunk bookkeeping common to both models (loop setup, index math).
     double chunk_overhead_us = 0.5;
+    /// Per-level one-way RMA latency of a deep topology tree's scheduling
+    /// windows, outermost level first (level 0 = the root queue, level 1
+    /// the relay inside a level-0 group, ...). Lets a rack-level window
+    /// cost more than a socket-level one. Levels beyond the vector (or the
+    /// whole vector when empty) fall back to internode_rma_us — which
+    /// keeps the classic two-level pricing byte-identical.
+    std::vector<double> level_rma_us;
 
     [[nodiscard]] double rma_s() const noexcept { return internode_rma_us * 1e-6; }
+    /// One-way RMA latency of the level-`level` scheduling window.
+    [[nodiscard]] double level_rma_s(int level) const noexcept {
+        if (level >= 0 && static_cast<std::size_t>(level) < level_rma_us.size()) {
+            return level_rma_us[static_cast<std::size_t>(level)] * 1e-6;
+        }
+        return rma_s();
+    }
     [[nodiscard]] double intranode_rma_s() const noexcept { return intranode_rma_us * 1e-6; }
     [[nodiscard]] double global_service_s() const noexcept {
         return global_queue_service_us * 1e-6;
@@ -75,10 +91,16 @@ struct CostModel {
             omp_barrier_base_us < 0 || omp_barrier_per_thread_us < 0 || chunk_overhead_us < 0) {
             throw std::invalid_argument("CostModel: all costs must be >= 0");
         }
+        for (const double v : level_rma_us) {
+            if (v < 0) {
+                throw std::invalid_argument("CostModel: all costs must be >= 0");
+            }
+        }
     }
 };
 
-/// The simulated machine: `nodes` x `workers_per_node` (paper: 2..16 x 16).
+/// The simulated machine: `nodes` x `workers_per_node` (paper: 2..16 x 16),
+/// optionally refined into a deeper topology tree.
 struct ClusterSpec {
     int nodes = 2;
     int workers_per_node = 16;
@@ -87,8 +109,22 @@ struct ClusterSpec {
     /// speed 0.5 executes every iteration twice as slowly. Models the
     /// heterogeneous/perturbed clusters the adaptive techniques target.
     std::vector<double> node_speed;
+    /// Machine tree, outermost level first (e.g. racks=2, nodes=4,
+    /// cores=16). Empty means the classic two-level {nodes, cores} tree.
+    /// When set, the fan-outs must multiply to total_workers(), the
+    /// innermost fan-out must equal workers_per_node, and `nodes` must
+    /// equal the number of leaf groups.
+    std::vector<minimpi::TopologyLevel> tree;
 
     [[nodiscard]] int total_workers() const noexcept { return nodes * workers_per_node; }
+
+    /// The effective tree (the implied {nodes, cores} one when unset).
+    [[nodiscard]] std::vector<minimpi::TopologyLevel> effective_tree() const {
+        if (!tree.empty()) {
+            return tree;
+        }
+        return {{"nodes", nodes}, {"cores", workers_per_node}};
+    }
 
     /// Execution-speed factor of `node` (compute time = cost / speed).
     [[nodiscard]] double speed(int node) const noexcept {
@@ -98,6 +134,22 @@ struct ClusterSpec {
     void validate() const {
         if (nodes < 1 || workers_per_node < 1) {
             throw std::invalid_argument("ClusterSpec: shape must be positive");
+        }
+        if (!tree.empty()) {
+            if (tree.size() < 2) {
+                throw std::invalid_argument(
+                    "ClusterSpec: a topology tree needs at least two levels");
+            }
+            const minimpi::Topology topo = minimpi::Topology::tree(tree);
+            topo.validate();
+            if (tree.back().fan_out != workers_per_node) {
+                throw std::invalid_argument(
+                    "ClusterSpec: innermost fan-out must equal workers_per_node");
+            }
+            if (topo.tree_ranks() != total_workers()) {
+                throw std::invalid_argument(
+                    "ClusterSpec: tree fan-outs must multiply to the worker count");
+            }
         }
         if (!node_speed.empty()) {
             if (node_speed.size() != static_cast<std::size_t>(nodes)) {

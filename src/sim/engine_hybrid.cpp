@@ -8,6 +8,7 @@
 /// schedule, and the implicit end-of-worksharing barrier (paper Figure 2)
 /// synchronizes the team before the next fetch.
 
+#include <cmath>
 #include <limits>
 #include <queue>
 #include <vector>
@@ -45,6 +46,7 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
     SimReport report;
     report.nodes = cluster.nodes;
     report.workers_per_node = team;
+    report.topology = cluster.effective_tree();
     report.total_iterations = n;
     report.workers.assign(static_cast<std::size_t>(cluster.total_workers()), SimWorker{});
     for (int w = 0; w < cluster.total_workers(); ++w) {
@@ -61,16 +63,11 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
         return report;
     }
 
-    dls::LoopParams inter_params;
-    inter_params.total_iterations = n;
-    inter_params.workers = cluster.nodes;
-    inter_params.min_chunk = config.min_chunk;
-    inter_params.sigma = config.fac_sigma;
-    inter_params.mu = config.fac_mu;
-
-    bool g_exhausted = false;
-    const auto source = make_inter_source(config.inter_backend, config.inter, inter_params,
-                                          cluster.nodes, config.inter_weights, costs);
+    // The whole hierarchy above the thread-team leaves (root backend + any
+    // relay levels of a deep tree), priced per level in one shared place.
+    const SimPlan plan = resolve_sim_plan(cluster, config);
+    const dls::Technique leaf_technique = plan.levels.back().technique;
+    HierarchicalSource source(cluster, config, plan, n);
 
     std::vector<NodeRun> nodes(static_cast<std::size_t>(cluster.nodes));
     for (auto& nr : nodes) {
@@ -108,7 +105,7 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
     /// schedule (no barrier here; the caller adds it).
     const auto workshare = [&](int node, std::int64_t start, std::int64_t size) {
         NodeRun& nr = nodes[static_cast<std::size_t>(node)];
-        if (config.intra == dls::Technique::Static) {
+        if (leaf_technique == dls::Technique::Static) {
             // schedule(static): one contiguous slice per thread, no shared
             // counter, no dequeue cost.
             const std::int64_t base = size / team;
@@ -169,12 +166,12 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
             const double dequeue_wait = std::max(0.0, before - best);
             w.lock_wait += dequeue_wait;
             w.overhead += completion - best;
-            const std::int64_t hint = dls::chunk_size_for_step(config.intra, p, step);
+            const std::int64_t hint = dls::chunk_size_for_step(leaf_technique, p, step);
             if (hint <= 0 || scheduled >= size) {
                 // Failed dequeue: the thread leaves the construct.
                 if (tracer.enabled()) {
                     tracer.record(trace::EventKind::LocalPop, best, completion, -1, -1,
-                                  dequeue_wait);
+                                  dequeue_wait, plan.depth() - 1);
                 }
                 nr.clock[static_cast<std::size_t>(tid)] = completion;
                 done[static_cast<std::size_t>(tid)] = true;
@@ -193,7 +190,7 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
             ++w.sub_chunks;
             if (tracer.enabled()) {
                 tracer.record(trace::EventKind::LocalPop, best, completion, begin,
-                              begin + take, dequeue_wait);
+                              begin + take, dequeue_wait, plan.depth() - 1);
                 const double exec0 = completion + costs.chunk_overhead_s();
                 tracer.instant(trace::EventKind::ChunkExecBegin, exec0, begin, begin + take);
                 tracer.instant(trace::EventKind::ChunkExecEnd, exec0 + compute, begin,
@@ -220,13 +217,23 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
         auto& master_tracer = engine_trace.tracer(ev.node * team);
         std::optional<std::pair<std::int64_t, std::int64_t>> chunk;
         double fetch_overhead = 0.0;
-        if (!g_exhausted) {
+        if (!source.exhausted(ev.node)) {
             double done = t0;
-            const auto take = source->acquire(ev.node, t0, &done);
+            double retry_at = 0.0;
+            const auto take = source.acquire(ev.node, t0, &done, &retry_at);
             master.overhead += done - t0;
             nr.clock[0] = done;
+            if (!take && std::isfinite(retry_at)) {
+                // Work is in flight up the branch but not yet visible: the
+                // master idles until it lands and retries (no barrier — the
+                // team is still waiting for the publish).
+                const double next = std::max(done, retry_at);
+                master.idle += next - done;
+                nr.clock[0] = next;
+                events.push({next, ev.node});
+                continue;
+            }
             if (!take) {
-                g_exhausted = true;
                 if (master_tracer.enabled()) {
                     master_tracer.record(trace::EventKind::GlobalAcquire, t0, done, 0, 0);
                 }
@@ -237,7 +244,8 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
                 if (master_tracer.enabled()) {
                     master_tracer.record(take->stolen ? trace::EventKind::Steal
                                                       : trace::EventKind::GlobalAcquire,
-                                         t0, done, chunk->first, chunk->second);
+                                         t0, done, chunk->first, chunk->second, 0.0,
+                                         take->level);
                 }
             }
         }
@@ -260,12 +268,12 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
 
         workshare(ev.node, chunk->first, chunk->second);
         double joined = barrier(ev.node);  // the implicit barrier
-        if (source->wants_feedback()) {
+        if (source.wants_feedback()) {
             // The master posts the chunk's feedback before the next fetch:
             // the node's wall time for the chunk is its rate denominator.
             // Priced as the real report(): three accumulator RMA updates.
-            source->report(ev.node, chunk->second, joined - published, fetch_overhead);
-            const double flush = 3.0 * costs.rma_s();
+            source.report(ev.node, chunk->second, joined - published, fetch_overhead);
+            const double flush = feedback_flush_s(costs);
             master.overhead += flush;
             nr.clock[0] += flush;
             joined += flush;

@@ -10,6 +10,8 @@
 /// target) are modelled as resources whose busy-until times chain
 /// transactions in processing order.
 
+#include <cmath>
+#include <limits>
 #include <queue>
 #include <vector>
 
@@ -69,6 +71,7 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
     SimReport report;
     report.nodes = cluster.nodes;
     report.workers_per_node = cluster.workers_per_node;
+    report.topology = cluster.effective_tree();
     report.total_iterations = n;
     report.workers.assign(static_cast<std::size_t>(total_workers), SimWorker{});
     for (int w = 0; w < total_workers; ++w) {
@@ -88,17 +91,14 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
         return report;
     }
 
-    dls::LoopParams inter_params;
-    inter_params.total_iterations = n;
-    inter_params.workers = cluster.nodes;
-    inter_params.min_chunk = config.min_chunk;
-    inter_params.sigma = config.fac_sigma;
-    inter_params.mu = config.fac_mu;
+    // The whole hierarchy above the leaf queues (root backend + any relay
+    // levels of a deep tree), priced per level in one shared place.
+    const SimPlan plan = resolve_sim_plan(cluster, config);
+    const dls::Technique leaf_technique = plan.levels.back().technique;
+    const int leaf_level = plan.depth() - 1;
+    HierarchicalSource source(cluster, config, plan, n);
 
     std::vector<NodeState> nodes(static_cast<std::size_t>(cluster.nodes), NodeState(costs));
-    bool g_exhausted = false;
-    const auto source = make_inter_source(config.inter_backend, config.inter, inter_params,
-                                          cluster.nodes, config.inter_weights, costs);
 
     // Retry period of a worker that must wait for work to appear without a
     // known wake-up time (nowait non-masters): the natural software poll.
@@ -137,7 +137,7 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
             p.workers = cluster.workers_per_node;
             p.min_chunk = config.min_chunk;
             const std::int64_t hint =
-                dls::chunk_size_for_step(config.intra, p, c.sub_step);
+                dls::chunk_size_for_step(leaf_technique, p, c.sub_step);
             const std::int64_t take =
                 hint > 0 ? std::min(hint, c.size - c.sub_scheduled) : c.size - c.sub_scheduled;
             const std::int64_t begin = c.start + c.sub_scheduled;
@@ -189,52 +189,67 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
             ++w.sub_chunks;
             if (tracing) {
                 tracer.record(trace::EventKind::LocalPop, t, acc.released, sub->first,
-                              sub->second, acc.wait);
+                              sub->second, acc.wait, leaf_level);
                 const double exec0 = acc.released + costs.chunk_overhead_s();
                 tracer.instant(trace::EventKind::ChunkExecBegin, exec0, sub->first,
                                sub->second);
                 tracer.instant(trace::EventKind::ChunkExecEnd, exec0 + compute, sub->first,
                                sub->second);
             }
-            if (source->wants_feedback()) {
+            if (source.wants_feedback()) {
                 // Local accumulation in the real executor: free here; the
                 // flush is priced at the next refill.
-                source->report(w.node, sub->second - sub->first, compute,
-                               acc.released - t + costs.chunk_overhead_s());
+                source.report(w.node, sub->second - sub->first, compute,
+                              acc.released - t + costs.chunk_overhead_s());
                 feedback_pending[static_cast<std::size_t>(ev.worker)] = 1;
             }
             events.push({acc.released + costs.chunk_overhead_s() + compute, ev.worker});
             continue;
         }
         if (record_probe) {
-            tracer.record(trace::EventKind::LocalPop, t, acc.released, -1, -1, acc.wait);
+            tracer.record(trace::EventKind::LocalPop, t, acc.released, -1, -1, acc.wait,
+                          leaf_level);
         }
 
         double now = acc.released;
 
-        // ---- stage 1: queue drained; refill from the level-1 source -----
+        // ---- stage 1: queue drained; refill from the level above --------
         const bool may_refill = any_rank_refills || w.worker_in_node == 0;
-        if (may_refill && !g_exhausted) {
+        if (may_refill && !source.exhausted(w.node)) {
             if (feedback_pending[static_cast<std::size_t>(ev.worker)] != 0) {
                 // Pre-acquire feedback flush: three accumulator RMA updates
                 // (the AWF weight-refresh reads ride the priced global
                 // acquisition below — a deliberate simplification).
-                const double flush = 3.0 * costs.rma_s();
+                const double flush = feedback_flush_s(costs);
                 w.overhead += flush;
                 now += flush;
                 feedback_pending[static_cast<std::size_t>(ev.worker)] = 0;
             }
             if (record_probe) {
-                tracer.instant(trace::EventKind::RefillBegin, now);
+                tracer.instant(trace::EventKind::RefillBegin, now, 0, 0, leaf_level);
             }
             double done = now;
-            const auto take = source->acquire(w.node, now, &done);
+            double retry_at = 0.0;
+            const auto take = source.acquire(w.node, now, &done, &retry_at);
             w.overhead += done - now;
+            if (!take && std::isfinite(retry_at)) {
+                // Work is in flight somewhere up the branch (pushed but not
+                // yet visible at our inspection time): wake when it lands.
+                if (record_probe) {
+                    tracer.instant(trace::EventKind::RefillEnd, done, 0, 0, leaf_level);
+                }
+                const double next = std::max(done, retry_at);
+                w.idle += next - done;
+                if (tracing && waiting_since < 0.0) {
+                    waiting_since = done;
+                }
+                events.push({next, ev.worker});
+                continue;
+            }
             if (!take) {
-                g_exhausted = true;
                 if (record_probe) {
                     tracer.record(trace::EventKind::GlobalAcquire, now, done, 0, 0);
-                    tracer.instant(trace::EventKind::RefillEnd, done, 0, 0);
+                    tracer.instant(trace::EventKind::RefillEnd, done, 0, 0, leaf_level);
                 }
                 now = done;
             } else {
@@ -245,7 +260,7 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
                 if (tracing) {
                     tracer.record(take->stolen ? trace::EventKind::Steal
                                                : trace::EventKind::GlobalAcquire,
-                                  now, done, start, size);
+                                  now, done, start, size, 0.0, take->level);
                 }
                 now = done;
                 // Push + pop own first sub-chunk in one queue access.
@@ -269,9 +284,9 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
                 if (tracing) {
                     tracer.record(trace::EventKind::LocalPop, now, push.released,
                                   sub ? sub->first : -1, sub ? sub->second : -1,
-                                  push.wait);
+                                  push.wait, leaf_level);
                     tracer.instant(trace::EventKind::RefillEnd, push.released, start,
-                                   size);
+                                   size, leaf_level);
                     if (sub) {
                         const double exec0 = push.released + costs.chunk_overhead_s();
                         tracer.instant(trace::EventKind::ChunkExecBegin, exec0,
@@ -280,9 +295,9 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
                                        sub->first, sub->second);
                     }
                 }
-                if (sub && source->wants_feedback()) {
-                    source->report(w.node, sub->second - sub->first, compute,
-                                   push.released - now + costs.chunk_overhead_s());
+                if (sub && source.wants_feedback()) {
+                    source.report(w.node, sub->second - sub->first, compute,
+                                  push.released - now + costs.chunk_overhead_s());
                     feedback_pending[static_cast<std::size_t>(ev.worker)] = 1;
                 }
                 events.push(
@@ -310,7 +325,7 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
             events.push({next, ev.worker});
             continue;
         }
-        if (!g_exhausted) {
+        if (!source.exhausted(w.node)) {
             // Only reachable for nowait non-masters: the pool is empty and
             // the master has not refilled yet — poll again later.
             w.idle += poll_quantum;

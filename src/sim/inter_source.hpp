@@ -32,9 +32,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "dls/adaptive.hpp"
@@ -42,6 +45,7 @@
 #include "dls/sharding.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/resources.hpp"
+#include "sim/simulator.hpp"
 
 namespace hdls::sim::detail {
 
@@ -172,13 +176,16 @@ public:
 };
 
 /// The rank-0-hosted backends: two RMA ops through one FCFS server.
+/// `rma_latency_s` overrides the per-op RMA latency (per-level pricing of
+/// deep trees); negative means the cost model's internode default.
 class CentralizedInterSource final : public InterSource {
 public:
     CentralizedInterSource(dls::Technique technique, const dls::LoopParams& params, int nodes,
-                           const std::vector<double>& wf_weights, const CostModel& costs)
+                           const std::vector<double>& wf_weights, const CostModel& costs,
+                           double rma_latency_s = -1.0)
         : src_(technique, params, nodes, wf_weights),
           server_(costs.global_service_s()),
-          rma_(costs.rma_s()) {}
+          rma_(rma_latency_s >= 0.0 ? rma_latency_s : costs.rma_s()) {}
 
     [[nodiscard]] std::optional<Take> acquire(int node, double t, double* done) override {
         const double t1 = op(t);
@@ -222,14 +229,15 @@ private:
 class ShardedInterSource final : public InterSource {
 public:
     ShardedInterSource(dls::Technique technique, const dls::LoopParams& params, int nodes,
-                       const std::vector<double>& wf_weights, const CostModel& costs)
+                       const std::vector<double>& wf_weights, const CostModel& costs,
+                       double rma_latency_s = -1.0)
         : tech_(technique),
           min_chunk_(params.min_chunk),
           workers_(params.workers),
           sizes_(dls::shard_partition(params.total_iterations, wf_weights, nodes)),
           remaining_(sizes_),
           step_(static_cast<std::size_t>(nodes), 0),
-          rma_(costs.rma_s()),
+          rma_(rma_latency_s >= 0.0 ? rma_latency_s : costs.rma_s()),
           shm_(costs.intranode_rma_s()) {
         lo_.resize(static_cast<std::size_t>(nodes));
         std::int64_t acc = 0;
@@ -328,13 +336,405 @@ private:
 /// source, mirroring core::make_inter_queue.
 [[nodiscard]] inline std::unique_ptr<InterSource> make_inter_source(
     dls::InterBackend backend, dls::Technique technique, const dls::LoopParams& params,
-    int nodes, const std::vector<double>& wf_weights, const CostModel& costs) {
+    int nodes, const std::vector<double>& wf_weights, const CostModel& costs,
+    double rma_latency_s = -1.0) {
     if (backend == dls::InterBackend::Sharded && dls::supports_sharded(technique)) {
         return std::make_unique<ShardedInterSource>(technique, params, nodes, wf_weights,
-                                                    costs);
+                                                    costs, rma_latency_s);
     }
     return std::make_unique<CentralizedInterSource>(technique, params, nodes, wf_weights,
-                                                    costs);
+                                                    costs, rma_latency_s);
 }
+
+/// Pricing of one adaptive-feedback flush — the three accumulator RMA
+/// updates the real executors post on the root window. The one place both
+/// engines take this cost from.
+[[nodiscard]] inline double feedback_flush_s(const CostModel& costs) {
+    return 3.0 * costs.level_rma_s(0);
+}
+
+/// The validated per-level plan of one simulated run (the sim twin of
+/// core::resolve_hierarchy, duplicated only in shape: the simulator keeps
+/// no dependency on the real executors' core layer).
+struct SimPlan {
+    std::vector<minimpi::TopologyLevel> tree;   ///< depth >= 2
+    std::vector<dls::LevelScheme> levels;       ///< per level; interior backends engaged
+
+    [[nodiscard]] int depth() const noexcept { return static_cast<int>(tree.size()); }
+};
+
+[[nodiscard]] inline SimPlan resolve_sim_plan(const ClusterSpec& cluster,
+                                              const SimConfig& config) {
+    SimPlan plan;
+    plan.tree = cluster.effective_tree();  // cluster.validate() checked consistency
+    const int depth = plan.depth();
+    if (config.levels.empty()) {
+        plan.levels.assign(static_cast<std::size_t>(depth),
+                           dls::LevelScheme{config.inter, config.inter_backend});
+        plan.levels.back() = dls::LevelScheme{config.intra, std::nullopt};
+    } else {
+        if (static_cast<int>(config.levels.size()) != depth) {
+            throw std::invalid_argument("simulate: got " +
+                                        std::to_string(config.levels.size()) +
+                                        " level configs for a depth-" + std::to_string(depth) +
+                                        " topology");
+        }
+        plan.levels = config.levels;
+        for (int d = 0; d < depth - 1; ++d) {
+            auto& lv = plan.levels[static_cast<std::size_t>(d)];
+            if (!lv.backend) {
+                lv.backend = config.inter_backend;
+            }
+        }
+        plan.levels.back().backend.reset();
+    }
+    auto& root = plan.levels.front();
+    if (!dls::supports_internode(root.technique)) {
+        throw std::invalid_argument(
+            std::string("simulate: level 0 technique ") +
+            std::string(dls::technique_name(root.technique)) +
+            " has neither a step-indexed nor a remaining-count-based distributed form");
+    }
+    if (root.backend == dls::InterBackend::Sharded && !dls::supports_sharded(root.technique)) {
+        root.backend = dls::InterBackend::Centralized;
+    }
+    for (int d = 1; d < depth - 1; ++d) {
+        auto& lv = plan.levels[static_cast<std::size_t>(d)];
+        if (lv.backend == dls::InterBackend::Sharded && !dls::supports_sharded(lv.technique)) {
+            lv.backend = dls::InterBackend::Centralized;
+        }
+        if (lv.backend == dls::InterBackend::Centralized &&
+            !dls::supports_step_indexed(lv.technique)) {
+            throw std::invalid_argument(
+                std::string("simulate: level ") + std::to_string(d) + " technique " +
+                std::string(dls::technique_name(lv.technique)) +
+                " cannot relay parent chunks (needs a step-indexed or sharded form)");
+        }
+    }
+    return plan;
+}
+
+/// The whole upper scheduling hierarchy of a deep tree, priced per level —
+/// the one place both engines take acquire costs from (the leaf queue
+/// models stay engine-side: PollingLock / dequeue counter / thread team).
+///
+/// One acquire() emulates the real ComposedWorkSource chain above the
+/// leaf: pop the level-(L-2) relay of the caller's group; on empty, refill
+/// it from the level above, recursively up to the root backend. Relay
+/// accesses are priced as one serialized op per lock epoch on the relay's
+/// group window (pop = one epoch, push+pop = one epoch — exactly the real
+/// queue's epoch structure) at that level's RMA latency
+/// (CostModel::level_rma_s). The classic depth-2 tree has no relays, so
+/// acquire() degenerates to the root InterSource with byte-identical
+/// pricing to the pre-hierarchy engines. Relay chunk math reuses the same
+/// dls functions as the real NodeWorkQueue / ShardedRelayQueue, so the
+/// virtual and real chunk sequences cannot drift.
+class HierarchicalSource {
+public:
+    struct Take {
+        std::int64_t start = 0;
+        std::int64_t size = 0;
+        bool stolen = false;  ///< carved from a peer's share (any level)
+        int level = 0;        ///< level the chunk was pulled from
+    };
+
+    HierarchicalSource(const ClusterSpec& cluster, const SimConfig& config,
+                       const SimPlan& plan, std::int64_t n)
+        : depth_(plan.depth()) {
+        fan_.reserve(plan.tree.size());
+        for (const auto& lv : plan.tree) {
+            fan_.push_back(lv.fan_out);
+        }
+        // leaf_div_[d]: leaf groups contained in one depth-d group
+        // (leaf_div_[depth-1] = 1, leaf_div_[0] = the leaf-group count).
+        leaf_div_.assign(static_cast<std::size_t>(depth_), 1);
+        for (int d = depth_ - 2; d >= 0; --d) {
+            leaf_div_[static_cast<std::size_t>(d)] =
+                fan_[static_cast<std::size_t>(d)] * leaf_div_[static_cast<std::size_t>(d + 1)];
+        }
+
+        dls::LoopParams params;
+        params.total_iterations = n;
+        params.workers = fan_.front();
+        params.min_chunk = config.min_chunk;
+        params.sigma = config.fac_sigma;
+        params.mu = config.fac_mu;
+        const auto& root = plan.levels.front();
+        root_ = make_inter_source(root.backend.value_or(dls::InterBackend::Centralized),
+                                  root.technique, params, fan_.front(), config.inter_weights,
+                                  cluster.costs, cluster.costs.level_rma_s(0));
+
+        relays_.resize(static_cast<std::size_t>(std::max(0, depth_ - 2)));
+        int groups = 1;
+        for (int d = 1; d <= depth_ - 2; ++d) {
+            groups *= fan_[static_cast<std::size_t>(d - 1)];
+            auto& level = relays_[static_cast<std::size_t>(d - 1)];
+            level.reserve(static_cast<std::size_t>(groups));
+            const auto& lv = plan.levels[static_cast<std::size_t>(d)];
+            const bool sharded = lv.backend == dls::InterBackend::Sharded;
+            for (int g = 0; g < groups; ++g) {
+                level.emplace_back(Relay{sharded,
+                                         sharded ? dls::shard_formula(lv.technique)
+                                                 : lv.technique,
+                                         fan_[static_cast<std::size_t>(d)],
+                                         config.min_chunk,
+                                         FcfsResource(cluster.costs.global_service_s()),
+                                         cluster.costs.level_rma_s(d),
+                                         {},
+                                         0});
+            }
+        }
+    }
+
+    /// Acquisition for leaf group `leaf` arriving at `t`. On success *done
+    /// holds the completion time. On failure *retry_at is the virtual time
+    /// at which currently in-flight (pushed but not yet visible) work
+    /// becomes poppable, or +infinity when the caller's branch is
+    /// permanently dry.
+    [[nodiscard]] std::optional<Take> acquire(int leaf, double t, double* done,
+                                              double* retry_at) {
+        *retry_at = std::numeric_limits<double>::infinity();
+        return walk(depth_ - 2, leaf, t, done, retry_at);
+    }
+
+    /// True once nothing can ever reach `leaf` again: the root is dry and
+    /// every relay on the leaf's ancestor path is fully assigned. The
+    /// engines gate refill attempts on this, exactly as they gated on the
+    /// global-exhausted flag before trees got deep.
+    [[nodiscard]] bool exhausted(int leaf) const {
+        if (!root_dry_) {
+            return false;
+        }
+        for (int d = 1; d <= depth_ - 2; ++d) {
+            if (relay_of(d, leaf).unfinished()) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    /// Execution feedback for `leaf`'s branch, accumulated into its
+    /// level-0 entity (no-op outside the adaptive family).
+    void report(int leaf, std::int64_t iterations, double compute_seconds,
+                double overhead_seconds) {
+        root_->report(entity0(leaf), iterations, compute_seconds, overhead_seconds);
+    }
+
+    [[nodiscard]] bool wants_feedback() const noexcept { return root_->wants_feedback(); }
+
+private:
+    struct RelaySeg {
+        int child = -1;  ///< owning child (sharded); -1 for the shared FIFO
+        std::int64_t start = 0;
+        std::int64_t size = 0;
+        std::int64_t taken = 0;
+        std::int64_t step = 0;
+        double visible_at = 0.0;
+    };
+
+    struct Relay {
+        bool sharded = false;
+        dls::Technique slicer{};  ///< step-indexed slicer / shard formula
+        int fan_out = 1;
+        std::int64_t min_chunk = 1;
+        FcfsResource server;
+        double lat = 0.0;  ///< one-way RMA latency of this level's window
+        std::vector<RelaySeg> segs;
+        std::size_t head = 0;
+
+        /// One lock epoch on the relay window: half the latency out,
+        /// serialized service at the group host, half back.
+        [[nodiscard]] double op(double t) { return server.acquire(t + lat / 2.0) + lat / 2.0; }
+
+        [[nodiscard]] bool unfinished() const {
+            for (std::size_t i = head; i < segs.size(); ++i) {
+                if (segs[i].taken < segs[i].size) {
+                    return true;
+                }
+            }
+            return false;
+        }
+
+        [[nodiscard]] double earliest_visible() const {
+            double earliest = std::numeric_limits<double>::infinity();
+            for (std::size_t i = head; i < segs.size(); ++i) {
+                if (segs[i].taken < segs[i].size) {
+                    earliest = std::min(earliest, segs[i].visible_at);
+                }
+            }
+            return earliest;
+        }
+
+        void push(std::int64_t start, std::int64_t size, double at) {
+            if (!sharded) {
+                segs.push_back({-1, start, size, 0, 0, at});
+                return;
+            }
+            const std::vector<std::int64_t> parts = dls::shard_partition(size, {}, fan_out);
+            std::int64_t off = 0;
+            for (int c = 0; c < fan_out; ++c) {
+                if (parts[static_cast<std::size_t>(c)] > 0) {
+                    segs.push_back(
+                        {c, start + off, parts[static_cast<std::size_t>(c)], 0, 0, at});
+                }
+                off += parts[static_cast<std::size_t>(c)];
+            }
+        }
+
+        /// Allocates the next sub-chunk visible at `at` for `child`
+        /// (ignored by the shared FIFO); sets *stolen when it carved a
+        /// sibling's shard. Mirrors NodeWorkQueue::pop_locked /
+        /// ShardedRelayQueue::pop_locked exactly.
+        [[nodiscard]] std::optional<std::pair<std::int64_t, std::int64_t>> pop(int child,
+                                                                              double at,
+                                                                              bool* stolen) {
+            while (head < segs.size() && segs[head].taken >= segs[head].size) {
+                ++head;  // retire fully-assigned front segments
+            }
+            *stolen = false;
+            if (!sharded) {
+                for (std::size_t i = head; i < segs.size(); ++i) {
+                    RelaySeg& s = segs[i];
+                    if (s.taken >= s.size || s.visible_at > at) {
+                        continue;
+                    }
+                    dls::LoopParams p;
+                    p.total_iterations = s.size;
+                    p.workers = fan_out;
+                    p.min_chunk = min_chunk;
+                    const std::int64_t hint =
+                        dls::chunk_size_for_step(slicer, p, s.step);
+                    const std::int64_t take =
+                        hint > 0 ? std::min(hint, s.size - s.taken) : s.size - s.taken;
+                    const std::int64_t begin = s.start + s.taken;
+                    s.taken += take;
+                    ++s.step;
+                    return std::pair{begin, begin + take};
+                }
+                return std::nullopt;
+            }
+            // Own shard first.
+            for (std::size_t i = head; i < segs.size(); ++i) {
+                RelaySeg& s = segs[i];
+                if (s.child != child || s.taken >= s.size || s.visible_at > at) {
+                    continue;
+                }
+                const std::int64_t hint = dls::shard_chunk_hint(slicer, s.size, fan_out,
+                                                                min_chunk, s.step);
+                const std::int64_t take =
+                    hint > 0 ? std::min(hint, s.size - s.taken) : s.size - s.taken;
+                const std::int64_t begin = s.start + s.taken;
+                s.taken += take;
+                ++s.step;
+                return std::pair{begin, begin + take};
+            }
+            // Steal half the front remainder of the most loaded sibling.
+            int victim = -1;
+            std::int64_t most = 0;
+            for (int c = 0; c < fan_out; ++c) {
+                if (c == child) {
+                    continue;
+                }
+                std::int64_t remaining = 0;
+                for (std::size_t i = head; i < segs.size(); ++i) {
+                    const RelaySeg& s = segs[i];
+                    if (s.child == c && s.visible_at <= at) {
+                        remaining += s.size - s.taken;
+                    }
+                }
+                if (remaining > most) {
+                    most = remaining;
+                    victim = c;
+                }
+            }
+            if (victim < 0) {
+                return std::nullopt;
+            }
+            for (std::size_t i = head; i < segs.size(); ++i) {
+                RelaySeg& s = segs[i];
+                if (s.child != victim || s.taken >= s.size || s.visible_at > at) {
+                    continue;
+                }
+                const std::int64_t take = dls::steal_amount(s.size - s.taken, min_chunk);
+                const std::int64_t begin = s.start + s.taken;
+                s.taken += take;
+                *stolen = true;
+                return std::pair{begin, begin + take};
+            }
+            return std::nullopt;
+        }
+    };
+
+    /// Level-0 entity (feedback slot / root shard) of a leaf group.
+    [[nodiscard]] int entity0(int leaf) const noexcept { return group_at(1, leaf); }
+
+    [[nodiscard]] const Relay& relay_of(int d, int leaf) const {
+        return relays_[static_cast<std::size_t>(d - 1)]
+                      [static_cast<std::size_t>(group_at(d, leaf))];
+    }
+    [[nodiscard]] Relay& relay_of(int d, int leaf) {
+        return relays_[static_cast<std::size_t>(d - 1)]
+                      [static_cast<std::size_t>(group_at(d, leaf))];
+    }
+
+    /// Depth-d ancestor group of a leaf group.
+    [[nodiscard]] int group_at(int d, int leaf) const noexcept {
+        return leaf / static_cast<int>(leaf_div_[static_cast<std::size_t>(d)]);
+    }
+
+    /// Child slot of the leaf's branch at level d.
+    [[nodiscard]] int child_at(int d, int leaf) const noexcept {
+        return group_at(d + 1, leaf) % fan_[static_cast<std::size_t>(d)];
+    }
+
+    [[nodiscard]] std::optional<Take> walk(int d, int leaf, double t, double* done,
+                                           double* retry_at) {
+        if (d <= 0) {
+            if (root_dry_) {
+                *done = t;
+                return std::nullopt;
+            }
+            double completed = t;
+            const auto take = root_->acquire(entity0(leaf), t, &completed);
+            *done = completed;
+            if (!take) {
+                root_dry_ = true;
+                return std::nullopt;
+            }
+            return Take{take->start, take->size, take->stolen, 0};
+        }
+        Relay& r = relay_of(d, leaf);
+        const int child = child_at(d, leaf);
+        const double t1 = r.op(t);
+        bool stolen = false;
+        if (const auto sub = r.pop(child, t1, &stolen)) {
+            *done = t1;
+            return Take{sub->first, sub->second - sub->first, stolen, d};
+        }
+        double updone = t1;
+        const auto up = walk(d - 1, leaf, t1, &updone, retry_at);
+        if (!up) {
+            *retry_at = std::min(*retry_at, r.earliest_visible());
+            *done = updone;
+            return std::nullopt;
+        }
+        // Push + pop own first sub-chunk in one lock epoch.
+        const double t2 = r.op(updone);
+        r.push(up->start, up->size, t2);
+        *done = t2;
+        if (const auto sub = r.pop(child, t2, &stolen)) {
+            return Take{sub->first, sub->second - sub->first, stolen, d};
+        }
+        *retry_at = std::min(*retry_at, t2);
+        return std::nullopt;
+    }
+
+    int depth_ = 2;
+    std::vector<int> fan_;
+    std::vector<std::int64_t> leaf_div_;  ///< leaf groups per depth-d group
+    std::unique_ptr<InterSource> root_;
+    bool root_dry_ = false;
+    std::vector<std::vector<Relay>> relays_;  ///< [level-1][group]
+};
 
 }  // namespace hdls::sim::detail

@@ -76,7 +76,15 @@ double SimReport::finish_cov() const noexcept {
 
 void SimReport::print(std::ostream& os) const {
     os << "nodes=" << nodes << " workers/node=" << workers_per_node
-       << " N=" << total_iterations << "\n"
+       << " N=" << total_iterations << "\n";
+    if (topology.size() > 2) {
+        os << "  hierarchy:";
+        for (std::size_t d = 0; d < topology.size(); ++d) {
+            os << (d == 0 ? " " : " -> ") << topology[d].name << "=" << topology[d].fan_out;
+        }
+        os << "\n";
+    }
+    os
        << "  T_par=" << util::format_seconds(parallel_time)
        << "  efficiency=" << util::format_double(100.0 * efficiency(), 1) << "%"
        << "  finish CoV=" << util::format_double(finish_cov(), 4) << "\n"

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "dls/technique.hpp"
+#include "minimpi/topology.hpp"
 #include "trace/trace.hpp"
 
 namespace hdls::sim {
@@ -30,6 +31,9 @@ struct SimWorker {
 struct SimReport {
     int nodes = 0;
     int workers_per_node = 0;
+    /// The machine tree the run scheduled over (outermost level first;
+    /// always set — the classic run carries the implied {nodes, cores}).
+    std::vector<minimpi::TopologyLevel> topology;
     std::int64_t total_iterations = 0;
     double parallel_time = 0.0;  ///< the paper's metric: max worker finish time
     std::vector<SimWorker> workers;

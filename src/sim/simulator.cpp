@@ -6,6 +6,7 @@
 #include <string>
 
 #include "sim/engines.hpp"
+#include "sim/inter_source.hpp"
 
 namespace hdls::sim {
 
@@ -43,22 +44,20 @@ SimReport simulate(ExecModel model, const ClusterSpec& cluster, const SimConfig&
     if (config.min_chunk < 1) {
         throw std::invalid_argument("simulate: min_chunk must be >= 1");
     }
-    if (!dls::supports_internode(config.inter)) {
-        throw std::invalid_argument(
-            std::string("simulate: inter-node technique ") +
-            std::string(dls::technique_name(config.inter)) +
-            " has neither a step-indexed nor a remaining-count-based distributed form");
-    }
-    if (!dls::supports_step_indexed(config.intra)) {
+    // Per-level plan: tree/levels consistency, root capability and interior
+    // relay forms (throws its own one-line errors).
+    const detail::SimPlan plan = detail::resolve_sim_plan(cluster, config);
+    if (!dls::supports_step_indexed(plan.levels.back().technique)) {
         throw std::invalid_argument(
             std::string("simulate: intra-node technique ") +
-            std::string(dls::technique_name(config.intra)) +
+            std::string(dls::technique_name(plan.levels.back().technique)) +
             " lacks a step-indexed form and cannot run under the distributed protocol");
     }
     if (!config.inter_weights.empty() &&
-        config.inter_weights.size() != static_cast<std::size_t>(cluster.nodes)) {
+        config.inter_weights.size() !=
+            static_cast<std::size_t>(plan.tree.front().fan_out)) {
         throw std::invalid_argument(
-            "simulate: inter_weights size must equal the cluster's node count");
+            "simulate: inter_weights size must equal the number of level-0 entities");
     }
     for (const double w : config.inter_weights) {
         if (w < 0.0) {

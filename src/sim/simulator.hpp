@@ -57,6 +57,13 @@ struct SimConfig {
     /// FAC probabilistic inputs (stddev/mean of iteration time, seconds).
     double fac_sigma = 0.0;
     double fac_mu = 1.0;
+    /// Per-level technique/backend choices for a deep ClusterSpec::tree,
+    /// one per tree level (mirrors HierConfig::levels). Empty derives
+    /// {inter + inter_backend, [inter + inter_backend ...,] intra}; when
+    /// set, the size must equal the tree depth and `inter`/`intra` are
+    /// ignored. An unset backend inherits `inter_backend` (interior
+    /// levels).
+    std::vector<dls::LevelScheme> levels;
     /// Record virtual-time chunk-lifecycle events into SimReport::trace
     /// (same schema as the real executors' traces, so every exporter and
     /// analysis in src/trace/ applies).

@@ -26,6 +26,13 @@ TraceAnalysis analyze(const Trace& trace) {
     std::vector<ExecPairing> pending;
     std::vector<double> lock_waits;
 
+    std::map<int, LevelOverhead> levels;
+    const auto level_slot = [&](const Event& e) -> LevelOverhead& {
+        LevelOverhead& lo = levels[e.level];
+        lo.level = e.level;
+        return lo;
+    };
+
     const auto slot = [&](const Event& e) -> WorkerBreakdown& {
         const auto [it, inserted] = index_of.try_emplace(e.worker, out.workers.size());
         if (inserted) {
@@ -44,17 +51,31 @@ TraceAnalysis analyze(const Trace& trace) {
         w.finish = std::max(w.finish, e.t1);
         switch (e.kind) {
             case EventKind::GlobalAcquire:
-            case EventKind::Steal:
+            case EventKind::Steal: {
                 w.sched_overhead += e.duration();
+                LevelOverhead& lo = level_slot(e);
+                lo.acquire_seconds += e.duration();
                 if (e.b > 0) {
                     ++w.global_chunks;
+                    ++lo.acquires;
+                    if (e.kind == EventKind::Steal) {
+                        ++lo.steals;
+                    }
                 }
                 break;
-            case EventKind::LocalPop:
+            }
+            case EventKind::LocalPop: {
                 w.sched_overhead += e.duration();
                 w.lock_wait += e.wait;
                 lock_waits.push_back(e.wait);
+                LevelOverhead& lo = level_slot(e);
+                lo.pop_seconds += e.duration();
+                lo.lock_wait_seconds += e.wait;
+                if (e.a >= 0) {  // empty probes record a == b == -1
+                    ++lo.pops;
+                }
                 break;
+            }
             case EventKind::ChunkExecBegin:
                 pair.begin_time = e.t0;
                 pair.open = true;
@@ -100,6 +121,10 @@ TraceAnalysis analyze(const Trace& trace) {
         out.percent_imbalance = (out.max_over_mean - 1.0) * 100.0;
     }
     out.lock_wait_stats = util::summarize(lock_waits);
+    out.levels.reserve(levels.size());
+    for (const auto& [level, lo] : levels) {
+        out.levels.push_back(lo);  // std::map iterates in level order
+    }
     return out;
 }
 
@@ -121,6 +146,21 @@ void TraceAnalysis::print(std::ostream& os) const {
                        std::to_string(w.iterations)});
     }
     table.print(os);
+    if (!levels.empty()) {
+        util::TextTable per_level({"level", "acquire (ms)", "acquires", "steals",
+                                   "mean acquire", "pop (ms)", "pops", "lock wait (ms)"});
+        for (const LevelOverhead& lo : levels) {
+            per_level.add_row({std::to_string(lo.level),
+                               util::format_double(lo.acquire_seconds * 1e3, 3),
+                               std::to_string(lo.acquires), std::to_string(lo.steals),
+                               util::format_seconds(lo.mean_acquire_seconds()),
+                               util::format_double(lo.pop_seconds * 1e3, 3),
+                               std::to_string(lo.pops),
+                               util::format_double(lo.lock_wait_seconds * 1e3, 3)});
+        }
+        os << "per-level scheduling overhead (level 0 = root):\n";
+        per_level.print(os);
+    }
     os << "makespan: " << util::format_seconds(makespan)
        << "  imbalance: " << util::format_double(percent_imbalance, 2) << "%"
        << "  finish CoV: " << util::format_double(finish_cov, 4)

@@ -29,9 +29,32 @@ struct WorkerBreakdown {
     std::int64_t global_chunks = 0;  ///< successful GlobalAcquire count
 };
 
+/// Per-hierarchy-level scheduling-overhead decomposition: where the
+/// acquire time goes in a deep topology tree (level 0 = the root). An
+/// acquire/steal event contributes to the level it pulled *from*; a pop or
+/// refill contributes to the level of the queue it touched.
+struct LevelOverhead {
+    int level = 0;
+    double acquire_seconds = 0.0;   ///< GlobalAcquire + Steal epochs at this level
+    std::int64_t acquires = 0;      ///< successful acquisitions (size > 0)
+    std::int64_t steals = 0;        ///< the subset carved from a peer's share
+    double pop_seconds = 0.0;       ///< LocalPop epochs on this level's queue
+    std::int64_t pops = 0;          ///< successful pops (non-empty)
+    double lock_wait_seconds = 0.0; ///< lock-grant latency inside those pops
+
+    /// Mean duration of one successful acquisition at this level.
+    [[nodiscard]] double mean_acquire_seconds() const noexcept {
+        return acquires > 0 ? acquire_seconds / static_cast<double>(acquires) : 0.0;
+    }
+};
+
 /// Whole-run diagnostics.
 struct TraceAnalysis {
     std::vector<WorkerBreakdown> workers;
+
+    /// Per-level overhead breakdown, sorted by level (empty for traces
+    /// with no scheduling events).
+    std::vector<LevelOverhead> levels;
 
     double makespan = 0.0;      ///< max worker finish (the paper's metric)
     double mean_finish = 0.0;

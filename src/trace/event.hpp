@@ -68,7 +68,8 @@ inline constexpr int kEventKinds = 10;
 }
 
 /// One recorded event. Kept POD and small: it is the unit the per-worker
-/// ring buffers move on the executors' hot path.
+/// ring buffers move on the executors' hot path (the `level` tag fits the
+/// existing padding, so the struct stays 56 bytes).
 struct Event {
     double t0 = 0.0;        ///< seconds since trace origin (start of the span)
     double t1 = 0.0;        ///< end of the span (== t0 for instant events)
@@ -78,6 +79,11 @@ struct Event {
     std::int32_t worker = 0;
     std::int32_t node = 0;
     EventKind kind{};
+    /// Scheduling-hierarchy level the event belongs to: the level of the
+    /// queue acquired from (GlobalAcquire/Steal) or popped/refilled
+    /// (LocalPop, Refill*). 0 = the root; in the classic two-level tree
+    /// GlobalAcquire is level 0 and LocalPop level 1.
+    std::int8_t level = 0;
 
     [[nodiscard]] double duration() const noexcept { return t1 - t0; }
 };

@@ -106,14 +106,16 @@ void export_chrome_json(const Trace& trace, std::ostream& os) {
                 emit("{\"name\":\"GlobalAcquire\",\"ph\":\"X\"," + common +
                      ",\"dur\":" + json_number(us(e.duration())) +
                      ",\"args\":{\"start\":" + std::to_string(e.a) +
-                     ",\"size\":" + std::to_string(e.b) + "}}");
+                     ",\"size\":" + std::to_string(e.b) +
+                     ",\"level\":" + std::to_string(e.level) + "}}");
                 break;
             case EventKind::LocalPop:
                 emit("{\"name\":\"LocalPop\",\"ph\":\"X\"," + common +
                      ",\"dur\":" + json_number(us(e.duration())) +
                      ",\"args\":{\"begin\":" + std::to_string(e.a) +
                      ",\"end\":" + std::to_string(e.b) +
-                     ",\"lock_wait_us\":" + json_number(us(e.wait)) + "}}");
+                     ",\"lock_wait_us\":" + json_number(us(e.wait)) +
+                     ",\"level\":" + std::to_string(e.level) + "}}");
                 break;
             case EventKind::BarrierWait:
                 emit("{\"name\":\"BarrierWait\",\"ph\":\"X\"," + common +
@@ -147,7 +149,8 @@ void export_chrome_json(const Trace& trace, std::ostream& os) {
                 emit("{\"name\":\"Steal\",\"ph\":\"X\"," + common +
                      ",\"dur\":" + json_number(us(e.duration())) +
                      ",\"args\":{\"start\":" + std::to_string(e.a) +
-                     ",\"size\":" + std::to_string(e.b) + "}}");
+                     ",\"size\":" + std::to_string(e.b) +
+                     ",\"level\":" + std::to_string(e.level) + "}}");
                 break;
         }
     }
@@ -155,11 +158,11 @@ void export_chrome_json(const Trace& trace, std::ostream& os) {
 }
 
 void export_csv(const Trace& trace, std::ostream& os) {
-    os << "kind,worker,node,t0,t1,wait,a,b\n";
+    os << "kind,worker,node,level,t0,t1,wait,a,b\n";
     for (const Event& e : trace.events) {
         os << event_kind_name(e.kind) << "," << e.worker << "," << e.node << ","
-           << csv_number(e.t0) << "," << csv_number(e.t1) << "," << csv_number(e.wait)
-           << "," << e.a << "," << e.b << "\n";
+           << static_cast<int>(e.level) << "," << csv_number(e.t0) << "," << csv_number(e.t1)
+           << "," << csv_number(e.wait) << "," << e.a << "," << e.b << "\n";
     }
 }
 

@@ -43,8 +43,9 @@ public:
     }
 
     /// Records an interval event [t0, t1] (drop-counted when full).
+    /// `level` tags the scheduling-hierarchy level (see Event::level).
     void record(EventKind kind, double t0, double t1, std::int64_t a = 0, std::int64_t b = 0,
-                double wait = 0.0) noexcept {
+                double wait = 0.0, int level = 0) noexcept {
         if (!enabled()) {
             return;
         }
@@ -57,12 +58,14 @@ public:
         e.worker = worker_;
         e.node = node_;
         e.kind = kind;
+        e.level = static_cast<std::int8_t>(level);
         (void)buffer_->try_push(e);
     }
 
     /// Records an instant event at time t.
-    void instant(EventKind kind, double t, std::int64_t a = 0, std::int64_t b = 0) noexcept {
-        record(kind, t, t, a, b);
+    void instant(EventKind kind, double t, std::int64_t a = 0, std::int64_t b = 0,
+                 int level = 0) noexcept {
+        record(kind, t, t, a, b, 0.0, level);
     }
 
 private:

@@ -470,4 +470,87 @@ TEST(ReportTest, AccountingInvariants) {
     EXPECT_NE(oss.str().find("TSS+FAC2"), std::string::npos);
 }
 
+// -------------------------------------------------- env / topology parsing
+
+TEST(EnvConfigTest, TopologyParsesTheDocumentedGrammar) {
+    const auto tree = parse_topology("racks=2, nodes=4, cores=8");
+    ASSERT_EQ(tree.size(), 3u);
+    EXPECT_EQ(tree[0].name, "racks");
+    EXPECT_EQ(tree[0].fan_out, 2);
+    EXPECT_EQ(tree[2].name, "cores");
+    EXPECT_EQ(tree[2].fan_out, 8);
+    // Canonical round trip.
+    EXPECT_EQ(format_topology(tree), "racks=2,nodes=4,cores=8");
+    EXPECT_EQ(format_topology(parse_topology(format_topology(tree))),
+              format_topology(tree));
+}
+
+TEST(EnvConfigTest, TopologyParsingRejectsMalformedSpecsWithClearErrors) {
+    const auto message_of = [](const char* text) -> std::string {
+        try {
+            (void)parse_topology(text);
+        } catch (const std::invalid_argument& e) {
+            return e.what();
+        }
+        return "";
+    };
+    EXPECT_NE(message_of("").find("empty"), std::string::npos);
+    EXPECT_NE(message_of("racks=2,,cores=8").find("empty level"), std::string::npos);
+    EXPECT_NE(message_of("racks2,cores=8").find("name=fanout"), std::string::npos);
+    EXPECT_NE(message_of("=4").find("empty name"), std::string::npos);
+    EXPECT_NE(message_of("racks=x").find("not a number"), std::string::npos);
+    EXPECT_NE(message_of("racks=0").find(">= 1"), std::string::npos);
+    EXPECT_NE(message_of("racks=-3").find(">= 1"), std::string::npos);
+}
+
+TEST(EnvConfigTest, TopologyEnvThrowsInsteadOfSilentlyFallingBack) {
+    ::setenv("HDLS_TOPOLOGY", "nodes=2,cores=4", 1);
+    const auto tree = topology_from_env();
+    ASSERT_EQ(tree.size(), 2u);
+    EXPECT_EQ(tree[1].fan_out, 4);
+    ::setenv("HDLS_TOPOLOGY", "garbage", 1);
+    EXPECT_THROW((void)topology_from_env(), std::invalid_argument);
+    ::unsetenv("HDLS_TOPOLOGY");
+    EXPECT_TRUE(topology_from_env().empty());
+}
+
+TEST(EnvConfigTest, InterBackendEnvThrowsOnUnknownValues) {
+    ::setenv("HDLS_INTER_BACKEND", "hexagonal", 1);
+    EXPECT_THROW((void)inter_backend_from_env(), std::invalid_argument);
+    ::unsetenv("HDLS_INTER_BACKEND");
+    EXPECT_EQ(inter_backend_from_env(), hdls::dls::InterBackend::Centralized);
+}
+
+TEST(EnvConfigTest, MultiLevelSchedulesParseAndRoundTrip) {
+    const auto cfg = parse_schedule("fac2+gss+ss,min_chunk=2");
+    ASSERT_TRUE(cfg.has_value());
+    EXPECT_EQ(cfg->inter, Technique::FAC2);
+    EXPECT_EQ(cfg->intra, Technique::SS);
+    ASSERT_EQ(cfg->levels.size(), 3u);
+    EXPECT_EQ(cfg->levels[1].technique, Technique::GSS);
+    EXPECT_FALSE(cfg->levels[1].backend.has_value());
+    EXPECT_EQ(cfg->min_chunk, 2);
+    EXPECT_EQ(format_schedule(*cfg), "FAC2+GSS+SS,min_chunk=2");
+    // Two-part combos keep the classic shape (no levels vector).
+    const auto classic = parse_schedule("gss+static");
+    ASSERT_TRUE(classic.has_value());
+    EXPECT_TRUE(classic->levels.empty());
+    EXPECT_FALSE(parse_schedule("gss").has_value());
+    EXPECT_FALSE(parse_schedule("gss+bogus+ss").has_value());
+}
+
+TEST(EnvConfigTest, MismatchedTopologyProductFailsTheRun) {
+    HierConfig cfg;
+    cfg.topology = {{"racks", 2}, {"nodes", 2}, {"cores", 2}};
+    // 2*2*2 = 8 != 4 nodes x 2 workers = 8? -> use a real mismatch: 3 x 2.
+    EXPECT_THROW((void)hdls::parallel_for(ClusterShape{3, 2}, Approach::MpiMpi, cfg, 10,
+                                          [](std::int64_t, std::int64_t) {}),
+                 std::invalid_argument);
+    // minimpi rejects trees whose product disagrees with the world size.
+    EXPECT_THROW(minimpi::Runtime::run(
+                     6, minimpi::Topology::tree({{"nodes", 2}, {"cores", 2}}),
+                     [](minimpi::Context&) {}),
+                 std::invalid_argument);
+}
+
 }  // namespace

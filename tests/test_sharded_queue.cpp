@@ -262,8 +262,10 @@ TEST(ShardedBackendTest, EnvKnobSelectsTheBackend) {
     EXPECT_EQ(inter_backend_from_env(), InterBackend::Sharded);
     ::setenv("HDLS_INTER_BACKEND", "CENTRALIZED", 1);
     EXPECT_EQ(inter_backend_from_env(InterBackend::Sharded), InterBackend::Centralized);
+    // A malformed value throws instead of silently falling back: an
+    // unknown backend would change what the run measures.
     ::setenv("HDLS_INTER_BACKEND", "nonsense", 1);
-    EXPECT_EQ(inter_backend_from_env(InterBackend::Sharded), InterBackend::Sharded);
+    EXPECT_THROW((void)inter_backend_from_env(InterBackend::Sharded), std::invalid_argument);
     ::unsetenv("HDLS_INTER_BACKEND");
     EXPECT_EQ(inter_backend_from_env(), InterBackend::Centralized);
 }

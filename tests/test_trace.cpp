@@ -226,7 +226,7 @@ TEST(ExportTest, CsvHasOneRowPerEvent) {
     std::ostringstream oss;
     trace::export_csv(tr, oss);
     const std::string csv = oss.str();
-    EXPECT_EQ(csv.rfind("kind,worker,node,t0,t1,wait,a,b\n", 0), 0u);
+    EXPECT_EQ(csv.rfind("kind,worker,node,level,t0,t1,wait,a,b\n", 0), 0u);
     const auto lines = static_cast<std::size_t>(
         std::count(csv.begin(), csv.end(), '\n'));
     EXPECT_EQ(lines, tr.events.size() + 1);
