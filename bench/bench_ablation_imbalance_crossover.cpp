@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "apps/synthetic.hpp"
+#include "common/json_report.hpp"
 #include "common/workloads.hpp"
 #include "util/table.hpp"
 
@@ -44,6 +45,7 @@ int main(int argc, char** argv) {
     util::ArgParser cli("bench_ablation_imbalance_crossover",
                         "GSS+STATIC: MPI+MPI vs MPI+OpenMP as a function of workload CoV");
     bench::add_common_options(cli);
+    bench::add_json_option(cli);
     cli.add_int("nodes", 4, "node count");
     cli.add_int("iterations", 200000, "loop size");
     try {
@@ -61,6 +63,11 @@ int main(int argc, char** argv) {
     cfg.inter = dls::Technique::GSS;
     cfg.intra = dls::Technique::Static;
 
+    bench::JsonReport json("bench_ablation_imbalance_crossover");
+    json.add_param("nodes", static_cast<std::int64_t>(nodes));
+    json.add_param("iterations", static_cast<std::int64_t>(n));
+    json.add_param("rpn", cli.get_int("rpn"));
+
     util::TextTable table(
         {"workload CoV", "MPI+OpenMP (s)", "MPI+MPI (s)", "ratio OpenMP/MPI+MPI"});
     for (const double cov : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0}) {
@@ -71,6 +78,11 @@ int main(int argc, char** argv) {
         table.add_row({util::format_double(cov, 2), util::format_double(hy.parallel_time, 3),
                        util::format_double(mm.parallel_time, 3),
                        util::format_double(hy.parallel_time / mm.parallel_time, 3)});
+        json.point()
+            .label("sweep", "workload_cov")
+            .label("cov", util::format_double(cov, 2))
+            .sample("openmp_s", hy.parallel_time)
+            .sample("mpimpi_s", mm.parallel_time);
     }
     std::cout << "Imbalance crossover (GSS+STATIC, " << nodes << " nodes x " << cli.get_int("rpn")
               << ", correlated gaussian workload):\n";
@@ -105,6 +117,11 @@ int main(int argc, char** argv) {
         adaptive_table.add_row({std::string(dls::technique_name(inter)),
                                 util::format_double(r.parallel_time, 3),
                                 util::format_double(r.finish_cov(), 4)});
+        json.point()
+            .label("sweep", "adaptive_slow_node")
+            .label("inter", std::string(dls::technique_name(inter)))
+            .sample("parallel_s", r.parallel_time)
+            .sample("finish_cov", r.finish_cov());
     }
     std::cout << "\nAdaptive crossover (X+STATIC, " << nodes << " nodes x "
               << cli.get_int("rpn") << ", node 0 at half speed):\n";
@@ -116,5 +133,11 @@ int main(int argc, char** argv) {
     std::cout << "\nExpected: FAC2 schedules the slow node as if it were fast and its\n"
                  "finish-time CoV shows the straggler; WF (exact weights) and the\n"
                  "AWF variants (measured rates) level the finish times.\n";
+    try {
+        bench::maybe_write_json(cli, json);
+    } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    }
     return 0;
 }

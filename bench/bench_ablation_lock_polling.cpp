@@ -13,6 +13,7 @@
 #include <chrono>
 #include <iostream>
 
+#include "common/json_report.hpp"
 #include "common/workloads.hpp"
 #include "core/hdls.hpp"
 #include "util/table.hpp"
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
     util::ArgParser cli("bench_ablation_lock_polling",
                         "SS-penalty sensitivity to the MPI_Win_lock polling model");
     bench::add_common_options(cli);
+    bench::add_json_option(cli);
     cli.add_int("nodes", 2, "node count");
     try {
         if (!cli.parse(argc, argv)) {
@@ -43,6 +45,11 @@ int main(int argc, char** argv) {
     const auto hybrid =
         simulate(sim::ExecModel::MpiOpenMp, bench::cluster_from_options(cli, nodes), cfg, trace);
 
+    bench::JsonReport json("bench_ablation_lock_polling");
+    json.add_param("nodes", static_cast<std::int64_t>(nodes));
+    json.add_param("scale", cli.get_double("scale"));
+    json.add_param("rpn", cli.get_int("rpn"));
+
     util::TextTable table({"poll (us)", "attempt (us)", "MPI+MPI T (s)", "MPI+OpenMP T (s)",
                            "ratio", "lock wait (worker-s)"});
     for (const double poll : {0.0, 1.0, 2.5, 5.0, 10.0}) {
@@ -56,6 +63,13 @@ int main(int argc, char** argv) {
                            util::format_double(hybrid.parallel_time, 3),
                            util::format_double(r.parallel_time / hybrid.parallel_time, 2),
                            util::format_double(r.total_lock_wait(), 2)});
+            json.point()
+                .label("sweep", "polling_model")
+                .label("poll_us", util::format_double(poll, 1))
+                .label("attempt_us", util::format_double(attempt, 1))
+                .sample("mpimpi_s", r.parallel_time)
+                .sample("ratio", r.parallel_time / hybrid.parallel_time)
+                .sample("lock_wait_s", r.total_lock_wait());
         }
     }
     std::cout << "Lock-polling ablation (PSIA workload, GSS+SS, " << nodes << " nodes x "
@@ -106,6 +120,8 @@ int main(int argc, char** argv) {
         double best = 0.0;
         double lock_wait = 0.0;
         double p99 = 0.0;
+        auto& point = json.point();
+        point.label("sweep", "real_lock_policy").label("policy", policy_name(policy));
         for (int rep = 0; rep < 3; ++rep) {
             const auto t0 = std::chrono::steady_clock::now();
             const auto report = hdls::parallel_for(core::ClusterShape{2, 8},
@@ -113,6 +129,7 @@ int main(int argc, char** argv) {
                                                    kRealIterations, body);
             const double wall =
                 std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+            point.sample("wall_s", wall);
             if (rep == 0 || wall < best) {
                 best = wall;
                 const auto analysis = trace::analyze(*report.trace);
@@ -135,5 +152,11 @@ int main(int argc, char** argv) {
     std::cout << "\nExpected: backoff at or below naive polling (well below when the\n"
                  "host is oversubscribed), both within reach of the blocking baseline\n"
                  "an RMA agent cannot use.\n";
+    try {
+        bench::maybe_write_json(cli, json);
+    } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    }
     return 0;
 }

@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "common/json_report.hpp"
 #include "common/workloads.hpp"
 #include "util/table.hpp"
 
@@ -14,6 +15,7 @@ int main(int argc, char** argv) {
     util::ArgParser cli("bench_ablation_nowait",
                         "MPI+OpenMP with nowait worksharing vs the implicit barrier vs MPI+MPI");
     bench::add_common_options(cli);
+    bench::add_json_option(cli);
     try {
         if (!cli.parse(argc, argv)) {
             return 0;
@@ -31,6 +33,10 @@ int main(int argc, char** argv) {
         {"Mandelbrot", bench::mandelbrot_paper_trace(bench::scaled_mandelbrot_dim(cli) / 2)},
         {"PSIA", bench::psia_paper_trace(bench::scaled_psia_points(cli) / 4)},
     };
+
+    bench::JsonReport json("bench_ablation_nowait");
+    json.add_param("scale", cli.get_double("scale"));
+    json.add_param("rpn", cli.get_int("rpn"));
 
     util::TextTable table({"application", "combination", "nodes", "MPI+OpenMP (s)",
                            "+nowait (s)", "MPI+MPI (s)"});
@@ -52,6 +58,13 @@ int main(int argc, char** argv) {
                      util::format_double(barrier.parallel_time, 2),
                      util::format_double(nowait.parallel_time, 2),
                      util::format_double(mpimpi.parallel_time, 2)});
+                json.point()
+                    .label("app", app.name)
+                    .label("intra", std::string(dls::technique_name(intra)))
+                    .label("nodes", static_cast<std::int64_t>(nodes))
+                    .sample("openmp_s", barrier.parallel_time)
+                    .sample("nowait_s", nowait.parallel_time)
+                    .sample("mpimpi_s", mpimpi.parallel_time);
             }
         }
     }
@@ -64,5 +77,11 @@ int main(int argc, char** argv) {
     std::cout << "\nExpected: nowait removes most of the barrier idle (approaching MPI+MPI\n"
                  "for X+STATIC) but keeps the funneled master-only refill, so MPI+MPI's\n"
                  "any-rank refill retains an edge under inter-node imbalance.\n";
+    try {
+        bench::maybe_write_json(cli, json);
+    } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    }
     return 0;
 }

@@ -1,0 +1,120 @@
+/// \file bench_ablation_prefetch.cpp
+/// Ablation: asynchronous chunk prefetching vs. synchronous acquisition as
+/// the chunk compute time grows past the RMA latency.
+///
+/// The synchronous self-scheduling loop pays the full distributed chunk
+/// calculation between every two chunks: compute + acquire, serially. With
+/// prefetching the next acquisition is issued when a chunk starts
+/// executing, so the caller pays issue/completion cost plus only the part
+/// of the acquire latency that outlives the chunk — max(compute, latency)
+/// instead of the sum. This bench sweeps the per-iteration compute cost of
+/// a uniform synthetic loop across the RMA latency (acquisition-heavy
+/// SS+STATIC, centralized root: the worst-case per-chunk overhead of the
+/// paper) and reports, per cost point and prefetch setting: parallel time,
+/// the mean raw acquire latency, the *effective* per-acquire overhead left
+/// on the critical path after the prefetch-hidden share, and the hit rate.
+///
+/// Expected: at sub-latency chunks prefetching only helps partially (the
+/// window is too small to hide the acquisition — misses and residual
+/// latency remain); once chunk compute exceeds the acquire latency the
+/// effective overhead collapses toward the nonblocking issue cost, i.e.
+/// toward zero, while the synchronous latency stays put.
+
+#include <iostream>
+#include <vector>
+
+#include "common/json_report.hpp"
+#include "common/workloads.hpp"
+#include "trace/trace.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+    using namespace hdls;
+    util::ArgParser cli("bench_ablation_prefetch",
+                        "Asynchronous chunk prefetching vs. synchronous acquisition "
+                        "across chunk-compute / RMA-latency ratios");
+    bench::add_common_options(cli);
+    bench::add_json_option(cli);
+    cli.add_int("nodes", 16, "simulated node count");
+    cli.add_int("min_chunk", 8, "min chunk size (iterations per acquisition)");
+    try {
+        if (!cli.parse(argc, argv)) {
+            return 0;
+        }
+    } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    }
+
+    const int nodes = static_cast<int>(cli.get_int("nodes"));
+    const std::int64_t min_chunk = cli.get_int("min_chunk");
+    const double scale = cli.get_double("scale");
+    // Uniform loop: the sweep variable is the per-iteration cost, so the
+    // workload carries no intrinsic imbalance of its own.
+    const auto iterations = static_cast<std::int64_t>(
+        std::max(4096.0, 262144.0 * scale));
+
+    bench::JsonReport json("bench_ablation_prefetch");
+    json.add_param("nodes", static_cast<std::int64_t>(nodes));
+    json.add_param("min_chunk", min_chunk);
+    json.add_param("iterations", iterations);
+    json.add_param("rpn", cli.get_int("rpn"));
+    json.add_param("rma_us", cli.get_double("rma_us"));
+    json.add_param("schedule", "SS+STATIC");
+
+    util::TextTable table({"cost/iter (us)", "prefetch", "T (s)", "acquire (us)",
+                           "effective (us)", "hit rate", "acquires"});
+    for (const double cost_us : {1.0, 5.0, 20.0, 100.0}) {
+        const sim::WorkloadTrace load(
+            std::vector<double>(static_cast<std::size_t>(iterations), cost_us * 1e-6));
+        for (const bool prefetch : {false, true}) {
+            sim::SimConfig cfg;
+            cfg.inter = dls::Technique::SS;  // one acquisition per chunk: max pressure
+            cfg.intra = dls::Technique::Static;
+            cfg.min_chunk = min_chunk;
+            cfg.prefetch = prefetch;
+            cfg.trace = true;
+            const auto r = simulate(sim::ExecModel::MpiMpi,
+                                    bench::cluster_from_options(cli, nodes), cfg, load);
+            const bench::AcquireStats acq = bench::acquire_stats(*r.trace);
+            const double hits = static_cast<double>(acq.prefetch_hits);
+            const double outcomes =
+                static_cast<double>(acq.prefetch_hits + acq.prefetch_misses);
+            const double hit_rate = outcomes > 0.0 ? hits / outcomes : 0.0;
+            table.add_row({util::format_double(cost_us, 1), prefetch ? "on" : "off",
+                           util::format_double(r.parallel_time, 4),
+                           util::format_double(acq.mean_latency * 1e6, 3),
+                           util::format_double(acq.effective_mean_latency * 1e6, 3),
+                           prefetch ? util::format_double(hit_rate, 3) : "n/a",
+                           std::to_string(acq.acquires)});
+            auto& point = json.point();
+            point.label("cost_us", util::format_double(cost_us, 1))
+                .label("prefetch", prefetch ? "on" : "off")
+                .sample("parallel_s", r.parallel_time)
+                .sample("acquire_us", acq.mean_latency * 1e6)
+                .sample("effective_acquire_us", acq.effective_mean_latency * 1e6)
+                .sample("hit_rate", hit_rate)
+                .sample("acquires", static_cast<double>(acq.acquires));
+        }
+    }
+
+    std::cout << "Prefetch ablation (uniform loop, N=" << iterations << ", SS+STATIC, "
+              << "min_chunk=" << min_chunk << ", " << nodes << " nodes x "
+              << cli.get_int("rpn") << " ranks):\n";
+    if (cli.get_flag("csv")) {
+        table.print_csv(std::cout);
+    } else {
+        table.print(std::cout);
+    }
+    std::cout << "\nExpected: the synchronous acquire latency is flat across the sweep;\n"
+                 "with prefetching the effective per-acquire overhead falls as the\n"
+                 "chunk compute time grows, collapsing toward the nonblocking issue\n"
+                 "cost once compute exceeds the RMA latency (hit rate -> 1).\n";
+    try {
+        bench::maybe_write_json(cli, json);
+    } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    }
+    return 0;
+}

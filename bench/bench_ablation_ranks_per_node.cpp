@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "common/json_report.hpp"
 #include "common/workloads.hpp"
 #include "util/table.hpp"
 
@@ -14,6 +15,7 @@ int main(int argc, char** argv) {
     util::ArgParser cli("bench_ablation_ranks_per_node",
                         "MPI+MPI SS/GSS penalty vs ranks per node (Xeon 16 .. Xeon Phi 64)");
     bench::add_common_options(cli);
+    bench::add_json_option(cli);
     cli.add_int("nodes", 2, "node count");
     try {
         if (!cli.parse(argc, argv)) {
@@ -26,6 +28,10 @@ int main(int argc, char** argv) {
     const int nodes = static_cast<int>(cli.get_int("nodes"));
     const sim::WorkloadTrace trace =
         bench::psia_paper_trace(bench::scaled_psia_points(cli) / 4);
+
+    bench::JsonReport json("bench_ablation_ranks_per_node");
+    json.add_param("scale", cli.get_double("scale"));
+    json.add_param("nodes", static_cast<std::int64_t>(nodes));
 
     util::TextTable table({"ranks/node", "intra", "MPI+MPI (s)", "MPI+OpenMP (s)", "ratio"});
     for (const int rpn : {2, 4, 8, 16, 32, 64}) {
@@ -41,6 +47,12 @@ int main(int argc, char** argv) {
                            util::format_double(mm.parallel_time, 3),
                            util::format_double(hy.parallel_time, 3),
                            util::format_double(mm.parallel_time / hy.parallel_time, 2)});
+            json.point()
+                .label("rpn", static_cast<std::int64_t>(rpn))
+                .label("intra", std::string(dls::technique_name(intra)))
+                .sample("mpimpi_s", mm.parallel_time)
+                .sample("openmp_s", hy.parallel_time)
+                .sample("ratio", mm.parallel_time / hy.parallel_time);
         }
     }
     std::cout << "Ranks-per-node ablation (PSIA workload, GSS inter, " << nodes << " nodes):\n";
@@ -53,5 +65,11 @@ int main(int argc, char** argv) {
                  "scale with contenders) while GSS stays near 1 — the paper's conclusion\n"
                  "that MPI+MPI is recommended only when its lock overhead stays below the\n"
                  "OpenMP synchronization overhead it removes.\n";
+    try {
+        bench::maybe_write_json(cli, json);
+    } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    }
     return 0;
 }

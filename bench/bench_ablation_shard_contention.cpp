@@ -15,42 +15,17 @@
 
 #include <iostream>
 
+#include "common/json_report.hpp"
 #include "common/workloads.hpp"
 #include "trace/trace.hpp"
 #include "util/table.hpp"
-
-namespace {
-
-struct AcquireStats {
-    double mean_latency = 0.0;
-    std::int64_t acquires = 0;
-    std::int64_t steals = 0;
-};
-
-AcquireStats acquire_stats(const hdls::sim::SimReport& report) {
-    AcquireStats out;
-    double sum = 0.0;
-    for (const auto& e : report.trace->events) {
-        const bool steal = e.kind == hdls::trace::EventKind::Steal;
-        if ((e.kind == hdls::trace::EventKind::GlobalAcquire || steal) && e.b > 0) {
-            sum += e.duration();
-            ++out.acquires;
-            out.steals += steal ? 1 : 0;
-        }
-    }
-    if (out.acquires > 0) {
-        out.mean_latency = sum / static_cast<double>(out.acquires);
-    }
-    return out;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
     using namespace hdls;
     util::ArgParser cli("bench_ablation_shard_contention",
                         "Centralized vs. sharded inter-node queue under growing node counts");
     bench::add_common_options(cli);
+    bench::add_json_option(cli);
     try {
         if (!cli.parse(argc, argv)) {
             return 0;
@@ -62,6 +37,12 @@ int main(int argc, char** argv) {
 
     const sim::WorkloadTrace trace =
         bench::psia_paper_trace(bench::scaled_psia_points(cli) / 4);
+
+    bench::JsonReport json("bench_ablation_shard_contention");
+    json.add_param("scale", cli.get_double("scale"));
+    json.add_param("rpn", cli.get_int("rpn"));
+    json.add_param("schedule", "SS+STATIC");
+    json.add_param("min_chunk", std::int64_t{8});
 
     util::TextTable table({"nodes", "backend", "acquire (us)", "T (s)", "finish CoV",
                            "acquires", "steals"});
@@ -76,13 +57,20 @@ int main(int argc, char** argv) {
             cfg.trace = true;
             const auto r = simulate(sim::ExecModel::MpiMpi,
                                     bench::cluster_from_options(cli, nodes), cfg, trace);
-            const AcquireStats acq = acquire_stats(r);
+            const bench::AcquireStats acq = bench::acquire_stats(*r.trace);
             table.add_row({std::to_string(nodes),
                            std::string(dls::inter_backend_name(backend)),
                            util::format_double(acq.mean_latency * 1e6, 3),
                            util::format_double(r.parallel_time, 3),
                            util::format_double(r.finish_cov(), 4),
                            std::to_string(acq.acquires), std::to_string(acq.steals)});
+            json.point()
+                .label("nodes", static_cast<std::int64_t>(nodes))
+                .label("backend", std::string(dls::inter_backend_name(backend)))
+                .sample("acquire_us", acq.mean_latency * 1e6)
+                .sample("parallel_s", r.parallel_time)
+                .sample("finish_cov", r.finish_cov())
+                .sample("steals", static_cast<double>(acq.steals));
         }
     }
     std::cout << "Shard-contention ablation (PSIA workload, SS+STATIC, min_chunk=8, "
@@ -96,5 +84,11 @@ int main(int argc, char** argv) {
                  "count (one rank-0 server serializes the whole cluster) while the\n"
                  "sharded backend stays at the node-local window cost, stealing only\n"
                  "when a shard runs dry.\n";
+    try {
+        bench::maybe_write_json(cli, json);
+    } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    }
     return 0;
 }

@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "apps/synthetic.hpp"
+#include "common/json_report.hpp"
 #include "common/workloads.hpp"
 #include "trace/analysis.hpp"
 #include "trace/export.hpp"
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
                         "Reproduces Figures 2/3: per-worker busy/idle decomposition and event "
                         "timeline of one node executing an imbalanced loop under both models");
     bench::add_common_options(cli);
+    bench::add_json_option(cli);
     cli.add_int("iterations", 4096, "loop size");
     cli.add_int("gantt-width", 100, "columns of the ASCII timeline");
     try {
@@ -57,6 +59,9 @@ int main(int argc, char** argv) {
     cfg.intra = dls::Technique::Static;
     cfg.trace = true;  // the figures below are derived from recorded events
 
+    bench::JsonReport json("bench_fig23");
+    json.add_param("iterations", cli.get_int("iterations"));
+
     const bool csv = cli.get_flag("csv");
     const int width = static_cast<int>(cli.get_int("gantt-width"));
     for (const sim::ExecModel model :
@@ -86,8 +91,19 @@ int main(int argc, char** argv) {
                   << "   total idle: " << util::format_seconds(analysis.total_barrier_wait)
                   << "   imbalance: " << util::format_double(analysis.percent_imbalance, 2)
                   << "%\n\n";
+        json.point()
+            .label("model", std::string(exec_model_name(model)))
+            .sample("makespan_s", analysis.makespan)
+            .sample("idle_s", analysis.total_barrier_wait)
+            .sample("imbalance_pct", analysis.percent_imbalance);
     }
     std::cout << "Expected: the MPI+MPI loop-end time (t'_end, Figure 3) is below the\n"
                  "MPI+OpenMP one (t_end, Figure 2), and its idle column is ~zero.\n";
+    try {
+        bench::maybe_write_json(cli, json);
+    } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    }
     return 0;
 }

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/json_report.hpp"
 #include "dls/scheduler.hpp"
 #include "ompsim/team.hpp"
 #include "util/cli.hpp"
@@ -57,6 +58,7 @@ int main(int argc, char** argv) {
                               "Reproduces Table 1: DLS <-> OpenMP schedule clause mapping, "
                               "verified by chunk-sequence comparison");
     cli.add_flag("csv", "emit CSV");
+    hdls::bench::add_json_option(cli);
     cli.add_int("n", 10000, "loop size used for the verification runs");
     try {
         if (!cli.parse(argc, argv)) {
@@ -85,13 +87,16 @@ int main(int argc, char** argv) {
         {Technique::FAC2, "- (extension: schedule fac2)", {}, false},
     };
 
+    hdls::bench::JsonReport json("bench_table1");
+    json.add_param("n", n);
+
     bool all_ok = true;
     for (const auto& row : rows) {
         std::string check;
+        bool ok = true;
         if (!row.expressible) {
             check = "not expressible in OpenMP 5";
         } else {
-            bool ok = true;
             for (const int p : {4, 8, 16}) {
                 // The guided/dynamic cursor rules make the ordered chunk
                 // sizes deterministic regardless of thread interleaving, so
@@ -103,6 +108,11 @@ int main(int argc, char** argv) {
             check = ok ? "exact match" : "MISMATCH";
         }
         table.add_row({std::string(hdls::dls::technique_name(row.tech)), row.clause, check});
+        json.point()
+            .label("technique", std::string(hdls::dls::technique_name(row.tech)))
+            .label("clause", row.clause)
+            .sample("expressible", row.expressible ? 1.0 : 0.0)
+            .sample("match", row.expressible && ok ? 1.0 : 0.0);
     }
 
     std::cout << "Table 1 reproduction (verification loop: N=" << n << ")\n";
@@ -113,5 +123,11 @@ int main(int argc, char** argv) {
     }
     std::cout << (all_ok ? "\nAll mapped schedules verified.\n"
                          : "\nERROR: schedule mapping mismatch!\n");
+    try {
+        hdls::bench::maybe_write_json(cli, json);
+    } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+    }
     return all_ok ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 #include <map>
 #include <vector>
 
+#include "common/json_report.hpp"
 #include "ompsim/schedule.hpp"
 #include "util/table.hpp"
 
@@ -62,6 +63,7 @@ int run_figure_bench(int figure_id, dls::Technique inter, int argc, const char* 
                             " at the inter-node level, five intra-node techniques, "
                             "MPI+OpenMP baseline vs the proposed MPI+MPI approach");
     add_common_options(cli);
+    add_json_option(cli);
     cli.add_flag("extended-openmp",
                  "allow TSS/FAC2 intra-node schedules for MPI+OpenMP "
                  "(LaPeSD-libGOMP-style; the paper's Intel stack could not)");
@@ -127,6 +129,27 @@ int run_figure_bench(int figure_id, dls::Technique inter, int argc, const char* 
 
     for (const auto& app : apps_list) {
         print_subfigure(std::cout, app.name, inter, series, csv);
+    }
+
+    JsonReport json("bench_fig" + std::to_string(figure_id));
+    json.add_param("inter", std::string(dls::technique_name(inter)));
+    json.add_param("scale", cli.get_double("scale"));
+    json.add_param("rpn", cli.get_int("rpn"));
+    for (const auto& s : series) {
+        for (const auto& [nodes, seconds] : s.time_by_nodes) {
+            json.point()
+                .label("app", s.app)
+                .label("intra", std::string(dls::technique_name(s.intra)))
+                .label("model", std::string(exec_model_name(s.model)))
+                .label("nodes", static_cast<std::int64_t>(nodes))
+                .sample("parallel_s", seconds);
+        }
+    }
+    try {
+        maybe_write_json(cli, json);
+    } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
     }
 
     if (!csv) {

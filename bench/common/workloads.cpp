@@ -5,6 +5,7 @@
 
 #include "apps/mandelbrot.hpp"
 #include "apps/psia.hpp"
+#include "util/stats.hpp"
 
 namespace hdls::bench {
 
@@ -89,6 +90,40 @@ std::int64_t scaled_psia_points(const util::ArgParser& cli) {
     const double scale = std::clamp(cli.get_double("scale"), 1e-3, 1.0);
     return std::max<std::int64_t>(4096,
                                   static_cast<std::int64_t>(std::lround((1 << 20) * scale)));
+}
+
+AcquireStats acquire_stats(const trace::Trace& trace) {
+    AcquireStats out;
+    util::OnlineStats latency;
+    for (const auto& e : trace.events) {
+        switch (e.kind) {
+            case trace::EventKind::GlobalAcquire:
+            case trace::EventKind::Steal:
+                if (e.b > 0) {
+                    latency.add(e.duration());
+                    ++out.acquires;
+                    out.steals += e.kind == trace::EventKind::Steal ? 1 : 0;
+                }
+                break;
+            case trace::EventKind::Prefetch:
+                out.hidden_seconds += e.wait;
+                if (e.a != 0) {
+                    ++out.prefetch_hits;
+                } else {
+                    ++out.prefetch_misses;
+                }
+                break;
+            default:
+                break;
+        }
+    }
+    out.mean_latency = latency.mean();
+    if (out.acquires > 0) {
+        out.effective_mean_latency =
+            std::max(0.0, latency.sum() - out.hidden_seconds) /
+            static_cast<double>(out.acquires);
+    }
+    return out;
 }
 
 }  // namespace hdls::bench

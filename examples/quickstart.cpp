@@ -41,6 +41,9 @@ int main() {
         // Malformed values throw — fix the spec rather than silently
         // measuring defaults.
         cfg.topology = core::topology_from_env();
+        // HDLS_PREFETCH=1 overlaps each worker's next chunk acquisition
+        // with its current chunk's execution (double-buffered slot).
+        cfg.prefetch = core::prefetch_from_env();
     } catch (const std::invalid_argument& e) {
         std::cerr << e.what() << "\n";
         return 2;

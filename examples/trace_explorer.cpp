@@ -104,6 +104,7 @@ int main(int argc, char** argv) {
     try {
         cfg.inter_backend = core::inter_backend_from_env();
         cfg.topology = core::topology_from_env();
+        cfg.prefetch = core::prefetch_from_env();
         if (const std::string topo = cli.get_string("topology"); !topo.empty()) {
             cfg.topology = core::parse_topology(topo);
         }

@@ -228,6 +228,22 @@ bool trace_from_env(bool fallback) {
     return fallback;
 }
 
+bool prefetch_from_env(bool fallback) {
+    const char* value = std::getenv("HDLS_PREFETCH");
+    if (value == nullptr) {
+        return fallback;
+    }
+    const std::string s = normalized(value);
+    if (s == "1" || s == "ON" || s == "TRUE" || s == "YES") {
+        return true;
+    }
+    if (s == "0" || s == "OFF" || s == "FALSE" || s == "NO") {
+        return false;
+    }
+    throw std::invalid_argument(std::string("HDLS_PREFETCH='") + value +
+                                "' is not a boolean (expected 1/on/true/yes or 0/off/false/no)");
+}
+
 dls::InterBackend inter_backend_from_env(dls::InterBackend fallback) {
     const char* value = std::getenv("HDLS_INTER_BACKEND");
     if (value == nullptr) {

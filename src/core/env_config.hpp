@@ -21,13 +21,14 @@
 ///     HDLS_TRACE          — "1"/"on"/"true" enables chunk-event tracing
 ///     HDLS_INTER_BACKEND  — "centralized" | "sharded" inter-level backend
 ///     HDLS_TOPOLOGY       — machine tree as above
+///     HDLS_PREFETCH       — "1"/"on"/"true" enables async chunk prefetching
 ///
 /// Malformed HDLS_SCHEDULE / HDLS_APPROACH / HDLS_TRACE fall back with a
 /// warning (mirroring how OpenMP runtimes treat bad OMP_SCHEDULE values);
-/// malformed HDLS_TOPOLOGY / HDLS_INTER_BACKEND *throw* a one-line
-/// std::invalid_argument instead — a mis-shaped machine tree or unknown
-/// backend silently reverting to defaults would change what the run
-/// measures.
+/// malformed HDLS_TOPOLOGY / HDLS_INTER_BACKEND / HDLS_PREFETCH *throw* a
+/// one-line std::invalid_argument instead — a mis-shaped machine tree, an
+/// unknown backend or a typo'd prefetch toggle silently reverting to
+/// defaults would change what the run measures.
 
 #include <optional>
 #include <string>
@@ -73,6 +74,11 @@ namespace hdls::core {
 /// Reads HDLS_TRACE ("1"/"on"/"true"/"yes" enable, "0"/"off"/"false"/"no"
 /// disable, case-insensitive); same fallback contract.
 [[nodiscard]] bool trace_from_env(bool fallback = false);
+
+/// Reads HDLS_PREFETCH ("1"/"on"/"true"/"yes" enable, "0"/"off"/"false"/
+/// "no" disable, case-insensitive). Returns `fallback` when unset; throws
+/// std::invalid_argument when set to anything else (no silent fallback).
+[[nodiscard]] bool prefetch_from_env(bool fallback = false);
 
 /// Reads HDLS_INTER_BACKEND ("centralized" | "sharded", case-insensitive).
 /// Returns `fallback` when unset; throws std::invalid_argument when set to

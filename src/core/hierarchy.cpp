@@ -165,6 +165,15 @@ Hierarchy build_hierarchy(const minimpi::Comm& world, std::int64_t total_iterati
         h.queues_.push_back(std::move(queue));
         h.composed_.push_back(std::move(composed));
     }
+    // Asynchronous prefetching lives on the chain's top: that is the
+    // handle whose acquisitions sit between the caller's chunk executions
+    // (deeper levels are only reached through it). Root-only chains (the
+    // depth-2 MPI+OpenMP master) have no slot to buffer in — the funneled
+    // master cannot overlap its own worksharing — so prefetch is a no-op
+    // there.
+    if (cfg.prefetch && !h.composed_.empty()) {
+        h.composed_.back()->set_prefetch(true);
+    }
     return h;
 }
 

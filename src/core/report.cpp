@@ -51,6 +51,9 @@ void ExecutionReport::print(std::ostream& os) const {
     if (inter_backend == dls::InterBackend::Sharded) {
         os << " (" << dls::inter_backend_name(inter_backend) << ")";
     }
+    if (prefetch) {
+        os << " [prefetch]";
+    }
     os << "  nodes=" << shape.nodes
        << " workers/node=" << shape.workers_per_node << " N=" << total_iterations << "\n";
     if (topology.size() > 2) {

@@ -33,6 +33,8 @@ struct ExecutionReport {
     dls::Technique inter{};
     dls::Technique intra{};
     dls::InterBackend inter_backend{};
+    /// Whether asynchronous chunk prefetching was enabled for the run.
+    bool prefetch = false;
     /// The machine tree the run scheduled over (outermost level first) and
     /// the effective per-level plan — what resolve_hierarchy produced,
     /// sharded fallbacks already applied.

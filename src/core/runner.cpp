@@ -109,6 +109,10 @@ ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
     report.intra = rh.levels.back().technique;
     report.inter_backend =
         rh.levels.front().backend.value_or(dls::InterBackend::Centralized);
+    // Report what actually ran: the depth-2 MPI+OpenMP chain is root-only
+    // (no composed source to buffer in), so the knob is a no-op there.
+    report.prefetch =
+        cfg.prefetch && (approach == Approach::MpiMpi || rh.depth() > 2);
     report.topology = rh.tree;
     report.levels = rh.levels;
     report.total_iterations = n;

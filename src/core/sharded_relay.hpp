@@ -86,6 +86,13 @@ public:
                                                  minimpi::AccumulateOp::Sum);
     }
 
+    /// The announcement as a nonblocking window op (the prefetch issue
+    /// path): +1 on the in-flight counter, completed via the request.
+    [[nodiscard]] minimpi::AtomicUpdateRequest<std::int64_t> begin_refill_async() override {
+        return window_.start_atomic_update<std::int64_t>(
+            kHost, kInflight, [](std::int64_t v) { return v + 1; });
+    }
+
     void end_refill() override {
         (void)window_.fetch_and_op<std::int64_t>(-1, kHost, kInflight,
                                                  minimpi::AccumulateOp::Sum);

@@ -98,7 +98,48 @@ public:
     /// flush needs the fully-built chain to exist first).
     void set_before_refill(std::function<void()> fn) { before_refill_ = std::move(fn); }
 
+    /// Enables the double-buffered prefetch slot (HierConfig::prefetch):
+    /// returning a chunk also fills the slot with the *next* acquisition,
+    /// so it is in flight while the caller executes — the following
+    /// try_acquire is a constant-time slot read (a Prefetch hit). Enabled
+    /// on the chain's top source only: that is the handle whose acquire
+    /// latency sits between the caller's chunk executions. Exact tiling is
+    /// unaffected (the slot holds an already-assigned sub-chunk, consumed
+    /// before termination can be reached).
+    void set_prefetch(bool on) { prefetch_ = on; }
+    [[nodiscard]] bool prefetch_enabled() const noexcept { return prefetch_; }
+
     [[nodiscard]] std::optional<Chunk> try_acquire() override {
+        if (prefetch_ && slot_) {
+            const Chunk chunk = *slot_;
+            slot_.reset();
+            if (tracing_) {
+                const double now = tracer_.now();
+                tracer_.record(trace::EventKind::Prefetch, now, now, 1, chunk.start,
+                               slot_fill_seconds_, level_);
+            }
+            fill_slot();
+            return chunk;
+        }
+        const auto chunk = acquire_sync();
+        if (prefetch_ && chunk) {
+            if (tracing_) {
+                // Miss: the slot was empty and the acquisition above ran on
+                // the critical path.
+                const double now = tracer_.now();
+                tracer_.record(trace::EventKind::Prefetch, now, now, 0, chunk->start, 0.0,
+                               level_);
+            }
+            fill_slot();
+        }
+        return chunk;
+    }
+
+private:
+    /// The synchronous acquisition loop (the pre-prefetch try_acquire):
+    /// pop, else refill from the parent, else run the termination
+    /// protocol.
+    [[nodiscard]] std::optional<Chunk> acquire_sync() {
         for (;;) {
             // Termination-spin coalescing: while the parent is exhausted
             // but peers are mid-refill, the rank polls; recording every
@@ -186,6 +227,86 @@ public:
         }
     }
 
+    /// Starts the next acquisition while the caller executes the chunk
+    /// just returned (the double buffer's back side). One non-spinning
+    /// pass: pop the level queue; on empty, refill from the parent — the
+    /// in-flight announcement issued as a nonblocking window op
+    /// (begin_refill_async) and completed before the parent is touched,
+    /// per the termination protocol's ordering. Never blocks on peers: an
+    /// empty parent simply leaves the slot empty (the next try_acquire
+    /// falls back to the synchronous path, which owns the termination
+    /// protocol). When the root is adaptive (wants_feedback) the refill
+    /// boundary is NOT crossed: the next root decision must see the
+    /// feedback of the chunk whose execution this prefetch would overlap,
+    /// so only already-queued sub-chunks are prefetched and the refill
+    /// stays synchronous, after the flush — feedback-flush ordering is
+    /// exactly the synchronous run's.
+    void fill_slot() {
+        const double fill_t0 = tracing_ ? tracer_.now() : 0.0;
+        double lock_wait = 0.0;
+        if (const auto sub = local_.try_pop(tracing_ ? &lock_wait : nullptr)) {
+            if (tracing_) {
+                tracer_.record(trace::EventKind::LocalPop, fill_t0, tracer_.now(), sub->begin,
+                               sub->end, lock_wait, level_);
+                slot_fill_seconds_ = tracer_.now() - fill_t0;
+            }
+            slot_ = as_chunk(*sub);
+            return;
+        }
+        if (parent_.wants_feedback()) {
+            return;  // adaptive root: the refill must follow the flush
+        }
+        // The announcement flies as a nonblocking op while the refill's
+        // bookkeeping (trace marker, pre-acquire callback) runs; it must
+        // only have *landed* before the parent is touched, per the
+        // termination protocol's announce-before-parent ordering.
+        auto announce = local_.begin_refill_async();
+        if (tracing_) {
+            tracer_.instant(trace::EventKind::RefillBegin, tracer_.now(), 0, 0, level_);
+        }
+        if (before_refill_) {
+            before_refill_();
+        }
+        (void)announce.wait();
+        const double acq_t0 = tracing_ ? tracer_.now() : 0.0;
+        if (const auto chunk = parent_.try_acquire()) {
+            if (tracing_) {
+                tracer_.record(chunk->stolen ? trace::EventKind::Steal
+                                             : trace::EventKind::GlobalAcquire,
+                               acq_t0, tracer_.now(), chunk->start, chunk->size, 0.0,
+                               level_ - 1);
+            }
+            ++refills_;
+            double push_t0 = 0.0;
+            double push_wait = 0.0;
+            if (tracing_) {
+                push_t0 = tracer_.now();
+            }
+            const auto sub = local_.push_and_pop(chunk->start, chunk->size,
+                                                 tracing_ ? &push_wait : nullptr);
+            if (tracing_) {
+                tracer_.record(trace::EventKind::LocalPop, push_t0, tracer_.now(),
+                               sub ? sub->begin : -1, sub ? sub->end : -1, push_wait, level_);
+                tracer_.instant(trace::EventKind::RefillEnd, tracer_.now(), chunk->start,
+                                chunk->size, level_);
+                slot_fill_seconds_ = tracer_.now() - fill_t0;
+            }
+            if (sub) {
+                slot_ = as_chunk(*sub);
+            }
+            return;
+        }
+        if (tracing_) {
+            tracer_.record(trace::EventKind::GlobalAcquire, acq_t0, tracer_.now(), 0, 0, 0.0,
+                           level_ - 1);
+        }
+        local_.end_refill();
+        if (tracing_) {
+            tracer_.instant(trace::EventKind::RefillEnd, tracer_.now(), 0, 0, level_);
+        }
+    }
+
+public:
     void report(std::int64_t iterations, double compute_seconds,
                 double overhead_seconds) override {
         parent_.report(iterations, compute_seconds, overhead_seconds);
@@ -247,6 +368,13 @@ private:
     std::function<void()> before_refill_;
     std::int64_t refills_ = 0;
     double wait_start_ = -1.0;
+    /// Double-buffered prefetching (set_prefetch): the slot holds the next
+    /// chunk, acquired while the previous one executed; fill_seconds is
+    /// the acquisition time the slot hid off the critical path (traced on
+    /// the Prefetch hit event).
+    bool prefetch_ = false;
+    std::optional<Chunk> slot_;
+    double slot_fill_seconds_ = 0.0;
 };
 
 }  // namespace hdls::core

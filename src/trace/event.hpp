@@ -37,9 +37,17 @@ enum class EventKind : std::uint8_t {
     Steal,           ///< level-1 work steal under the sharded backend (a=start, b=size
                      ///< carved from a peer shard; the victim is recoverable from the
                      ///< range, shard boundaries being deterministic)
+    Prefetch,        ///< prefetch-slot outcome at acquire time: a=1 hit (the chunk was
+                     ///< already in the slot, acquired ahead of demand; `wait` holds the
+                     ///< acquisition seconds spent filling it, b the chunk start) or a=0
+                     ///< miss (the slot was empty; the acquisition ran on demand). Under
+                     ///< the simulators' overlap pricing the hit's `wait` is latency
+                     ///< hidden behind chunk execution — genuinely off the critical
+                     ///< path; the thread-backed real executor repositions that work
+                     ///< rather than removing it (its RMA has no flight time to hide)
 };
 
-inline constexpr int kEventKinds = 10;
+inline constexpr int kEventKinds = 11;
 
 [[nodiscard]] constexpr std::string_view event_kind_name(EventKind k) noexcept {
     switch (k) {
@@ -63,6 +71,8 @@ inline constexpr int kEventKinds = 10;
             return "FeedbackReport";
         case EventKind::Steal:
             return "Steal";
+        case EventKind::Prefetch:
+            return "Prefetch";
     }
     return "?";
 }

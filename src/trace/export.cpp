@@ -152,6 +152,13 @@ void export_chrome_json(const Trace& trace, std::ostream& os) {
                      ",\"size\":" + std::to_string(e.b) +
                      ",\"level\":" + std::to_string(e.level) + "}}");
                 break;
+            case EventKind::Prefetch:
+                emit("{\"name\":\"Prefetch\",\"ph\":\"i\",\"s\":\"t\"," + common +
+                     ",\"args\":{\"hit\":" + std::to_string(e.a) +
+                     ",\"start\":" + std::to_string(e.b) +
+                     ",\"hidden_us\":" + json_number(us(e.wait)) +
+                     ",\"level\":" + std::to_string(e.level) + "}}");
+                break;
         }
     }
     os << "\n]}\n";
