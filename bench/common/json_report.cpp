@@ -1,13 +1,22 @@
 #include "common/json_report.hpp"
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <stdexcept>
 #include <utility>
 
+#include "metrics/exposition.hpp"
+#include "metrics/metrics.hpp"
 #include "util/stats.hpp"
+
+#ifndef HDLS_GIT_SHA
+#define HDLS_GIT_SHA "unknown"
+#endif
 
 namespace hdls::bench {
 
@@ -66,6 +75,31 @@ void append_string_object(std::string& out,
     out += "}";
 }
 
+/// Run metadata stamped into every report: which build produced the
+/// numbers, where, and when — so archived CI artifacts stay attributable.
+[[nodiscard]] std::vector<std::pair<std::string, std::string>> run_metadata() {
+    std::vector<std::pair<std::string, std::string>> meta;
+    meta.emplace_back("git_sha", HDLS_GIT_SHA);
+    char host[256] = "unknown";
+    if (::gethostname(host, sizeof(host)) == 0) {
+        host[sizeof(host) - 1] = '\0';
+    }
+    meta.emplace_back("hostname", host);
+    std::time_t now = std::time(nullptr);
+    std::tm utc{};
+    char stamp[32] = "unknown";
+    if (gmtime_r(&now, &utc) != nullptr) {
+        std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+    }
+    meta.emplace_back("timestamp_utc", stamp);
+#if defined(__VERSION__)
+    meta.emplace_back("compiler", __VERSION__);
+#else
+    meta.emplace_back("compiler", "unknown");
+#endif
+    return meta;
+}
+
 }  // namespace
 
 JsonReport::Point& JsonReport::Point::label(const std::string& key, const std::string& value) {
@@ -102,7 +136,9 @@ JsonReport::Point& JsonReport::point() {
 }
 
 std::string JsonReport::render() const {
-    std::string out = "{\"name\":\"" + json_escape(name_) + "\",\"params\":";
+    std::string out = "{\"name\":\"" + json_escape(name_) + "\",\"meta\":";
+    append_string_object(out, run_metadata());
+    out += ",\"params\":";
     append_string_object(out, params_);
     out += ",\"points\":[";
     for (std::size_t p = 0; p < points_.size(); ++p) {
@@ -134,7 +170,10 @@ std::string JsonReport::render() const {
         }
         out += "}}";
     }
-    out += "\n]}\n";
+    // The process-wide runtime-metrics snapshot at render time: what the
+    // scheduling layers actually did while the bench ran (counters are
+    // process totals, not per-point deltas).
+    out += "\n],\"metrics\":" + metrics::to_json(metrics::registry().snapshot()) + "}\n";
     return out;
 }
 

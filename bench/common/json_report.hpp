@@ -6,12 +6,16 @@
 /// A run serializes to one JSON document:
 ///
 ///   {"name": "bench_ablation_prefetch",
+///    "meta": {"git_sha": "...", "hostname": "...",
+///             "timestamp_utc": "2026-08-08T12:00:00Z", "compiler": "..."},
 ///    "params": {"scale": "0.02", "rpn": "16"},
 ///    "points": [
 ///      {"labels": {"nodes": "32", "backend": "sharded"},
 ///       "metrics": {"acquire_us": {"count": 3, "median": 2.2,
 ///                   "mean": 2.3, "stddev": 0.1, "min": 2.2, "max": 2.4,
-///                   "values": [2.2, 2.4, 2.2]}}}]}
+///                   "values": [2.2, 2.4, 2.2]}}}],
+///    "metrics": {...}}   // process-wide runtime-metrics snapshot
+///                        // (metrics::to_json) taken at render time
 ///
 /// Repeated samples of a metric at one point are aggregated through
 /// util::summarize — the one stats implementation — instead of the ad-hoc

@@ -269,4 +269,47 @@ std::vector<minimpi::TopologyLevel> topology_from_env(
     }
 }
 
+bool metrics_from_env(bool fallback) {
+    const char* value = std::getenv("HDLS_METRICS");
+    if (value == nullptr) {
+        return fallback;
+    }
+    const std::string s = normalized(value);
+    if (s == "1" || s == "ON" || s == "TRUE" || s == "YES") {
+        return true;
+    }
+    if (s == "0" || s == "OFF" || s == "FALSE" || s == "NO") {
+        return false;
+    }
+    throw std::invalid_argument(std::string("HDLS_METRICS='") + value +
+                                "' is not a boolean (expected 1/on/true/yes or 0/off/false/no)");
+}
+
+std::chrono::milliseconds metrics_period_from_env(std::chrono::milliseconds fallback) {
+    const char* value = std::getenv("HDLS_METRICS_PERIOD_MS");
+    if (value == nullptr) {
+        return fallback;
+    }
+    const std::string s = stripped(value);
+    std::int64_t ms = 0;
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), ms);
+    if (ec != std::errc{} || ptr != s.data() + s.size() || ms < 1) {
+        throw std::invalid_argument(std::string("HDLS_METRICS_PERIOD_MS='") + value +
+                                    "' is not a positive integer (milliseconds)");
+    }
+    return std::chrono::milliseconds(ms);
+}
+
+std::string metrics_file_from_env(std::string fallback) {
+    const char* value = std::getenv("HDLS_METRICS_FILE");
+    if (value == nullptr) {
+        return fallback;
+    }
+    if (*value == '\0') {
+        throw std::invalid_argument(
+            "HDLS_METRICS_FILE='' is not a path (unset the variable to use the default)");
+    }
+    return value;
+}
+
 }  // namespace hdls::core

@@ -22,14 +22,22 @@
 ///     HDLS_INTER_BACKEND  — "centralized" | "sharded" inter-level backend
 ///     HDLS_TOPOLOGY       — machine tree as above
 ///     HDLS_PREFETCH       — "1"/"on"/"true" enables async chunk prefetching
+///     HDLS_METRICS        — "1"/"on"/"true" starts the metrics sampler and
+///                           stall watchdog for run_hierarchical calls
+///     HDLS_METRICS_PERIOD_MS — sampler/watchdog period in ms (default 100)
+///     HDLS_METRICS_FILE   — Prometheus exposition file path (default
+///                           "hdls-metrics.prom")
 ///
 /// Malformed HDLS_SCHEDULE / HDLS_APPROACH / HDLS_TRACE fall back with a
 /// warning (mirroring how OpenMP runtimes treat bad OMP_SCHEDULE values);
-/// malformed HDLS_TOPOLOGY / HDLS_INTER_BACKEND / HDLS_PREFETCH *throw* a
-/// one-line std::invalid_argument instead — a mis-shaped machine tree, an
-/// unknown backend or a typo'd prefetch toggle silently reverting to
-/// defaults would change what the run measures.
+/// malformed HDLS_TOPOLOGY / HDLS_INTER_BACKEND / HDLS_PREFETCH /
+/// HDLS_METRICS / HDLS_METRICS_PERIOD_MS *throw* a one-line
+/// std::invalid_argument instead — a mis-shaped machine tree, an unknown
+/// backend or a typo'd toggle silently reverting to defaults would change
+/// what the run measures (or silently disable the observability the user
+/// asked for).
 
+#include <chrono>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -90,5 +98,23 @@ namespace hdls::core {
 /// std::invalid_argument when set but malformed (no silent fallback).
 [[nodiscard]] std::vector<minimpi::TopologyLevel> topology_from_env(
     std::vector<minimpi::TopologyLevel> fallback = {});
+
+/// Reads HDLS_METRICS ("1"/"on"/"true"/"yes" enable, "0"/"off"/"false"/
+/// "no" disable, case-insensitive): run_hierarchical starts the background
+/// MetricsSampler (exposition file included) and the StallWatchdog when
+/// enabled. Returns `fallback` when unset; throws std::invalid_argument
+/// when set to anything else (no silent fallback).
+[[nodiscard]] bool metrics_from_env(bool fallback = false);
+
+/// Reads HDLS_METRICS_PERIOD_MS (a positive integer, milliseconds).
+/// Returns `fallback` when unset; throws std::invalid_argument when set
+/// but not a positive integer (no silent fallback).
+[[nodiscard]] std::chrono::milliseconds metrics_period_from_env(
+    std::chrono::milliseconds fallback = std::chrono::milliseconds(100));
+
+/// Reads HDLS_METRICS_FILE (the Prometheus exposition file path). Returns
+/// `fallback` when unset; throws std::invalid_argument when set but empty.
+[[nodiscard]] std::string metrics_file_from_env(
+    std::string fallback = "hdls-metrics.prom");
 
 }  // namespace hdls::core

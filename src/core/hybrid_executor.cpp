@@ -6,6 +6,8 @@
 
 #include "core/hierarchy.hpp"
 #include "dls/adaptive.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/watchdog.hpp"
 #include "ompsim/team.hpp"
 
 namespace hdls::core {
@@ -72,6 +74,14 @@ std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx, int threads_per_
     const bool feedback = chain.wants_feedback();
     ompsim::ThreadTeam team(threads_per_node);
 
+    const metrics::RuntimeMetrics& m = metrics::rt();
+    // At depth 2 the chain is the bare root backend, so nothing below has
+    // counted the master's acquisitions; deeper chains count their own
+    // pops/refills inside the ComposedWorkSources.
+    const bool count_master_acquire = hier.top_composed() == nullptr;
+    const auto midx =
+        static_cast<std::size_t>(metrics::RuntimeMetrics::level_index(pull_level));
+
     world.barrier();  // common start line
     const Clock::time_point t0 = Clock::now();
 
@@ -87,6 +97,7 @@ std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx, int threads_per_
         auto& mine = stats[static_cast<std::size_t>(tid)];
         trace::WorkerTracer& tracer = tracers[static_cast<std::size_t>(tid)];
         const bool tracing = tracer.enabled();
+        metrics::worker_enter(ctx.rank() * threads_per_node + tid);
         for (;;) {
             if (tid == 0) {
                 // The join barrier below serialized the team, so the
@@ -105,6 +116,11 @@ std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx, int threads_per_
                 current = chain.try_acquire();
                 acquire_seconds = seconds_since(a0);
                 chunk_t0 = Clock::now();
+                if (count_master_acquire && current) {
+                    m.acquire_latency_ns[midx]->observe(
+                        static_cast<std::uint64_t>(acquire_seconds * 1e9));
+                    (current->stolen ? m.steals : m.acquires)[midx]->inc();
+                }
                 if (tracing) {
                     tracer.record(current && current->stolen ? trace::EventKind::Steal
                                                              : trace::EventKind::GlobalAcquire,
@@ -142,9 +158,17 @@ std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx, int threads_per_
                                 }
                                 const Clock::time_point b0 = Clock::now();
                                 body(b, e);
-                                ws.busy_seconds += seconds_since(b0);
+                                const double thread_busy = seconds_since(b0);
+                                ws.busy_seconds += thread_busy;
                                 ws.iterations += e - b;
                                 ++ws.chunks;
+                                m.exec_chunks->inc();
+                                m.exec_iterations->inc(static_cast<std::uint64_t>(e - b));
+                                m.chunk_exec_ns->observe(
+                                    static_cast<std::uint64_t>(thread_busy * 1e9));
+                                metrics::worker_beat(
+                                    ctx.rank() * threads_per_node + thread_id, pull_level,
+                                    b, /*prefetch_outstanding=*/false, thread_busy);
                                 if (thread_tracer.enabled()) {
                                     const double end = thread_tracer.now();
                                     thread_tracer.instant(trace::EventKind::ChunkExecEnd, end,
@@ -166,6 +190,7 @@ std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx, int threads_per_
         if (tracing) {
             tracer.instant(trace::EventKind::Terminate, tracer.now());
         }
+        metrics::worker_leave(ctx.rank() * threads_per_node + tid);
         mine.finish_seconds = seconds_since(t0);
     });
 

@@ -3,8 +3,11 @@
 #include <chrono>
 
 #include "core/hierarchy.hpp"
+#include "core/sharded_queue.hpp"
 #include "core/work_source.hpp"
 #include "dls/adaptive.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/watchdog.hpp"
 
 namespace hdls::core {
 
@@ -55,6 +58,7 @@ WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierCo
         if (!feedback || pending_iters == 0) {
             return;
         }
+        metrics::rt().feedback_flushes->inc();
         hier.root().report(pending_iters, pending_busy, pending_overhead);
         if (tracing) {
             tracer.instant(trace::EventKind::FeedbackReport, tracer.now(), pending_iters,
@@ -65,6 +69,28 @@ WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierCo
         pending_overhead = 0.0;
     };
     hier.set_feedback_flush(flush_feedback);
+
+    const metrics::RuntimeMetrics& m = metrics::rt();
+    metrics::worker_enter(world.rank());
+
+    // Rank 0 lends the watchdog a view into the sharded root: per-shard
+    // remaining counts (atomic reads on the RMA window) so a stall dump
+    // can name the starved shard. Cleared before hier.free() below — the
+    // probe must not outlive the window it reads.
+    metrics::StallWatchdog* const wd =
+        world.rank() == 0 ? metrics::active_watchdog() : nullptr;
+    if (wd != nullptr) {
+        if (const auto* sharded = dynamic_cast<const ShardedInterQueue*>(&hier.root())) {
+            const int shards = rh.tree.front().fan_out;
+            wd->set_shard_probe([sharded, shards] {
+                std::vector<std::int64_t> remaining(static_cast<std::size_t>(shards));
+                for (int s = 0; s < shards; ++s) {
+                    remaining[static_cast<std::size_t>(s)] = sharded->remaining_of(s);
+                }
+                return remaining;
+            });
+        }
+    }
 
     world.barrier();  // common start line
     const Clock::time_point t0 = Clock::now();
@@ -82,6 +108,15 @@ WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierCo
         stats.busy_seconds += busy;
         stats.iterations += sub->size;
         ++stats.chunks;
+        m.exec_chunks->inc();
+        m.exec_iterations->inc(static_cast<std::uint64_t>(sub->size));
+        m.chunk_exec_ns->observe(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(b1 - b0).count()));
+        // Heartbeat for the stall watchdog (a relaxed pointer load when
+        // none is installed). Reading the prefetch slot is safe here: this
+        // thread is the only one that touches it.
+        metrics::worker_beat(world.rank(), source.level(), sub->start,
+                             source.has_prefetched(), busy);
         if (tracing) {
             tracer.instant(trace::EventKind::ChunkExecEnd, tracer.now(), sub->start,
                            sub->start + sub->size);
@@ -94,11 +129,15 @@ WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierCo
         }
     }
     flush_feedback();  // final accounting for chunks executed since the last refill
+    metrics::worker_leave(world.rank());
     hier.finish();
 
     stats.global_refills = source.refills();
     stats.finish_seconds = seconds_since(t0);
 
+    if (wd != nullptr) {
+        wd->clear_shard_probe();
+    }
     hier.free();  // every level's queue, then the root
     return stats;
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "metrics/metrics.hpp"
 #include "trace/trace.hpp"
 
 namespace hdls::core {
@@ -46,6 +47,11 @@ struct ExecutionReport {
     /// Merged chunk-lifecycle event trace; null unless HierConfig::trace
     /// was set for the run.
     std::shared_ptr<const trace::Trace> trace;
+    /// Always-on runtime metrics, as the run's delta over the process-wide
+    /// registry (counters/histograms count only this run's events; gauges
+    /// are end-of-run readings). Export with metrics::to_json /
+    /// metrics::to_prometheus.
+    metrics::Snapshot metrics;
 
     /// Sum of per-worker iteration counts (must equal total_iterations).
     [[nodiscard]] std::int64_t executed_iterations() const noexcept;

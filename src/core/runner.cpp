@@ -6,10 +6,14 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/env_config.hpp"
 #include "core/hierarchy.hpp"
 #include "core/hybrid_executor.hpp"
 #include "core/inter_queue.hpp"
 #include "core/mpi_mpi_executor.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/sampler.hpp"
+#include "metrics/watchdog.hpp"
 #include "minimpi/minimpi.hpp"
 #include "ompsim/schedule.hpp"
 #include "trace/recorder.hpp"
@@ -128,6 +132,29 @@ ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
                                                         cfg.trace_capacity);
     }
 
+    // Always-on metrics: the run's delta over the process-wide registry is
+    // attached to the report below. HDLS_METRICS=1 additionally runs the
+    // background sampler (Prometheus exposition file, HDLS_METRICS_FILE)
+    // and the stall watchdog for the duration of the run, both on the
+    // HDLS_METRICS_PERIOD_MS cadence.
+    const metrics::Snapshot metrics_before = metrics::registry().snapshot();
+    std::unique_ptr<metrics::MetricsSampler> sampler;
+    std::unique_ptr<metrics::StallWatchdog> watchdog;
+    // Uninstalls on every exit path: a thrown executor error must not leave
+    // the global hook pointing at a dead watchdog.
+    struct WatchdogGuard {
+        ~WatchdogGuard() { metrics::install_watchdog(nullptr); }
+    } watchdog_guard;
+    if (metrics_from_env()) {
+        const std::chrono::milliseconds period = metrics_period_from_env();
+        sampler = std::make_unique<metrics::MetricsSampler>(metrics::registry(), period);
+        sampler->set_exposition_file(metrics_file_from_env());
+        sampler->start();
+        watchdog = std::make_unique<metrics::StallWatchdog>(shape.total_workers());
+        metrics::install_watchdog(watchdog.get());
+        watchdog->start(period);
+    }
+
     switch (approach) {
         case Approach::MpiMpi: {
             const minimpi::Topology topo = rh.topology();
@@ -156,6 +183,15 @@ ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
             break;
         }
     }
+
+    if (watchdog) {
+        metrics::install_watchdog(nullptr);
+        watchdog->stop();
+    }
+    if (sampler) {
+        sampler->stop();  // final sample + exposition-file write
+    }
+    report.metrics = metrics::registry().snapshot().delta_since(metrics_before);
 
     if (session) {
         report.trace = session->finish({.approach = std::string(approach_name(approach)),

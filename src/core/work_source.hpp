@@ -14,6 +14,7 @@
 /// core::build_hierarchy (hierarchy.hpp) assembles the chain from a
 /// topology spec; executors only ever talk to the top of the chain.
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -21,6 +22,7 @@
 
 #include "core/local_queue.hpp"
 #include "dls/technique.hpp"
+#include "metrics/metrics.hpp"
 #include "trace/recorder.hpp"
 
 namespace hdls::core {
@@ -92,7 +94,18 @@ public:
           tracer_(tracer),
           tracing_(tracer.enabled()),
           level_(level),
-          before_refill_(std::move(before_refill)) {}
+          before_refill_(std::move(before_refill)),
+          // Metric handles resolved once: increments on the acquire path
+          // are a single relaxed fetch_add through these pointers. Parent
+          // acquisitions are attributed to the parent's level, as in the
+          // trace events above.
+          m_pops_(metrics::rt().pops[midx(level)]),
+          m_refills_(metrics::rt().refills[midx(level)]),
+          m_acquires_(metrics::rt().acquires[midx(level - 1)]),
+          m_steals_(metrics::rt().steals[midx(level - 1)]),
+          m_acquire_latency_(metrics::rt().acquire_latency_ns[midx(level - 1)]),
+          m_prefetch_hits_(metrics::rt().prefetch_hits),
+          m_prefetch_misses_(metrics::rt().prefetch_misses) {}
 
     /// Attaches the pre-acquire callback after construction (the feedback
     /// flush needs the fully-built chain to exist first).
@@ -111,6 +124,7 @@ public:
 
     [[nodiscard]] std::optional<Chunk> try_acquire() override {
         if (prefetch_ && slot_) {
+            m_prefetch_hits_->inc();
             const Chunk chunk = *slot_;
             slot_.reset();
             if (tracing_) {
@@ -123,6 +137,7 @@ public:
         }
         const auto chunk = acquire_sync();
         if (prefetch_ && chunk) {
+            m_prefetch_misses_->inc();
             if (tracing_) {
                 // Miss: the slot was empty and the acquisition above ran on
                 // the critical path.
@@ -154,6 +169,7 @@ private:
                 pop_t0 = tracer_.now();
             }
             if (const auto sub = local_.try_pop(tracing_ ? &lock_wait : nullptr)) {
+                m_pops_->inc();
                 if (tracing_) {
                     close_wait(pop_t0);
                     // Every pop epoch is a LocalPop at this level; a pop
@@ -179,7 +195,9 @@ private:
                 before_refill_();
             }
             const double acq_t0 = tracing_ ? tracer_.now() : 0.0;
+            const auto par_t0 = std::chrono::steady_clock::now();
             if (const auto chunk = parent_.try_acquire()) {
+                observe_parent_acquire(*chunk, par_t0);
                 if (tracing_) {
                     close_wait(acq_t0);
                     tracer_.record(chunk->stolen ? trace::EventKind::Steal
@@ -188,6 +206,7 @@ private:
                                    level_ - 1);
                 }
                 ++refills_;
+                m_refills_->inc();
                 double push_t0 = 0.0;
                 double push_wait = 0.0;
                 if (tracing_) {
@@ -203,6 +222,7 @@ private:
                                     chunk->size, level_);
                 }
                 if (sub) {
+                    m_pops_->inc();
                     return as_chunk(*sub);
                 }
                 continue;
@@ -223,6 +243,7 @@ private:
             if (tracing_ && wait_start_ < 0.0) {
                 wait_start_ = tracer_.now();
             }
+            metrics::rt().termination_spins->inc();
             std::this_thread::yield();
         }
     }
@@ -245,6 +266,7 @@ private:
         const double fill_t0 = tracing_ ? tracer_.now() : 0.0;
         double lock_wait = 0.0;
         if (const auto sub = local_.try_pop(tracing_ ? &lock_wait : nullptr)) {
+            m_pops_->inc();
             if (tracing_) {
                 tracer_.record(trace::EventKind::LocalPop, fill_t0, tracer_.now(), sub->begin,
                                sub->end, lock_wait, level_);
@@ -269,7 +291,9 @@ private:
         }
         (void)announce.wait();
         const double acq_t0 = tracing_ ? tracer_.now() : 0.0;
+        const auto par_t0 = std::chrono::steady_clock::now();
         if (const auto chunk = parent_.try_acquire()) {
+            observe_parent_acquire(*chunk, par_t0);
             if (tracing_) {
                 tracer_.record(chunk->stolen ? trace::EventKind::Steal
                                              : trace::EventKind::GlobalAcquire,
@@ -277,6 +301,7 @@ private:
                                level_ - 1);
             }
             ++refills_;
+            m_refills_->inc();
             double push_t0 = 0.0;
             double push_wait = 0.0;
             if (tracing_) {
@@ -292,6 +317,7 @@ private:
                 slot_fill_seconds_ = tracer_.now() - fill_t0;
             }
             if (sub) {
+                m_pops_->inc();
                 slot_ = as_chunk(*sub);
             }
             return;
@@ -326,6 +352,10 @@ public:
     /// This source's depth in the hierarchy (the root is 0).
     [[nodiscard]] int level() const noexcept { return level_; }
 
+    /// True while the prefetch slot holds a chunk awaiting execution (the
+    /// stall watchdog reports it as "outstanding prefetch").
+    [[nodiscard]] bool has_prefetched() const noexcept { return slot_.has_value(); }
+
     /// Parent chunks this handle pulled down (the rank's refill count).
     [[nodiscard]] std::int64_t refills() const noexcept { return refills_; }
 
@@ -349,6 +379,21 @@ private:
     [[nodiscard]] Chunk as_chunk(const LevelQueue::SubChunk& sub) const noexcept {
         // The sub-chunk index doubles as this level's step id.
         return Chunk{sub.begin, sub.end - sub.begin, local_.popped() - 1, sub.stolen};
+    }
+
+    [[nodiscard]] static std::size_t midx(int level) noexcept {
+        return static_cast<std::size_t>(metrics::RuntimeMetrics::level_index(level));
+    }
+
+    /// Successful parent acquisition: latency histogram plus the owned /
+    /// stolen counter, all at the parent's level.
+    void observe_parent_acquire(const Chunk& chunk,
+                                std::chrono::steady_clock::time_point t0) const noexcept {
+        m_acquire_latency_->observe(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
+        (chunk.stolen ? m_steals_ : m_acquires_)->inc();
     }
 
     /// `end` is the start of the transaction that found work, so the wait
@@ -375,6 +420,14 @@ private:
     bool prefetch_ = false;
     std::optional<Chunk> slot_;
     double slot_fill_seconds_ = 0.0;
+    // Resolved metric handles (see constructor).
+    metrics::Counter* m_pops_;
+    metrics::Counter* m_refills_;
+    metrics::Counter* m_acquires_;
+    metrics::Counter* m_steals_;
+    metrics::Histogram* m_acquire_latency_;
+    metrics::Counter* m_prefetch_hits_;
+    metrics::Counter* m_prefetch_misses_;
 };
 
 }  // namespace hdls::core

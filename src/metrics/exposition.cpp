@@ -1,0 +1,226 @@
+#include "metrics/exposition.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace hdls::metrics {
+
+namespace {
+
+const char* type_name(MetricType t) {
+    switch (t) {
+        case MetricType::Counter:
+            return "counter";
+        case MetricType::Gauge:
+            return "gauge";
+        case MetricType::Histogram:
+            return "histogram";
+    }
+    return "untyped";
+}
+
+/// Escapes a label value per the exposition format (backslash, quote, \n).
+std::string escape_label(const std::string& v) {
+    std::string out;
+    out.reserve(v.size());
+    for (const char c : v) {
+        switch (c) {
+            case '\\':
+                out += "\\\\";
+                break;
+            case '"':
+                out += "\\\"";
+                break;
+            case '\n':
+                out += "\\n";
+                break;
+            default:
+                out += c;
+        }
+    }
+    return out;
+}
+
+/// Renders `{k="v",...}` (empty string when there are no labels). `extra`
+/// appends one more pair, used for histogram `le` edges.
+std::string label_block(const Labels& labels, const std::string& extra_key = {},
+                        const std::string& extra_value = {}) {
+    if (labels.empty() && extra_key.empty()) {
+        return {};
+    }
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+        if (!first) {
+            out += ',';
+        }
+        first = false;
+        out += k;
+        out += "=\"";
+        out += escape_label(v);
+        out += '"';
+    }
+    if (!extra_key.empty()) {
+        if (!first) {
+            out += ',';
+        }
+        out += extra_key;
+        out += "=\"";
+        out += escape_label(extra_value);
+        out += '"';
+    }
+    out += '}';
+    return out;
+}
+
+int last_nonzero_bucket(const std::vector<std::uint64_t>& buckets) {
+    int last = -1;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        if (buckets[i] != 0) {
+            last = static_cast<int>(i);
+        }
+    }
+    return last;
+}
+
+std::string json_escape(const std::string& v) {
+    std::string out;
+    out.reserve(v.size());
+    for (const char c : v) {
+        switch (c) {
+            case '\\':
+                out += "\\\\";
+                break;
+            case '"':
+                out += "\\\"";
+                break;
+            case '\n':
+                out += "\\n";
+                break;
+            default:
+                out += c;
+        }
+    }
+    return out;
+}
+
+/// JSON map key for an entry: name alone, or `name{k="v",...}` with labels.
+std::string json_key(const SnapshotEntry& e) {
+    std::string key = e.name;
+    if (!e.labels.empty()) {
+        key += '{';
+        bool first = true;
+        for (const auto& [k, v] : e.labels) {
+            if (!first) {
+                key += ',';
+            }
+            first = false;
+            key += k;
+            key += "=\"";
+            key += v;
+            key += '"';
+        }
+        key += '}';
+    }
+    return key;
+}
+
+}  // namespace
+
+std::string to_prometheus(const Snapshot& snap) {
+    std::ostringstream out;
+    std::string last_header;  // HELP/TYPE emitted once per family
+    for (const auto& e : snap.entries) {
+        if (e.name != last_header) {
+            out << "# HELP " << e.name << ' ' << e.help << '\n';
+            out << "# TYPE " << e.name << ' ' << type_name(e.type) << '\n';
+            last_header = e.name;
+        }
+        switch (e.type) {
+            case MetricType::Counter:
+                out << e.name << label_block(e.labels) << ' ' << e.value << '\n';
+                break;
+            case MetricType::Gauge:
+                out << e.name << label_block(e.labels) << ' ' << e.gauge << '\n';
+                break;
+            case MetricType::Histogram: {
+                const int last = last_nonzero_bucket(e.buckets);
+                std::uint64_t cumulative = 0;
+                for (int b = 0; b <= last; ++b) {
+                    cumulative += e.buckets[static_cast<std::size_t>(b)];
+                    out << e.name << "_bucket"
+                        << label_block(e.labels, "le",
+                                       std::to_string(Histogram::bucket_upper(b)))
+                        << ' ' << cumulative << '\n';
+                }
+                out << e.name << "_bucket" << label_block(e.labels, "le", "+Inf") << ' '
+                    << e.count << '\n';
+                out << e.name << "_sum" << label_block(e.labels) << ' ' << e.sum << '\n';
+                out << e.name << "_count" << label_block(e.labels) << ' ' << e.count
+                    << '\n';
+                break;
+            }
+        }
+    }
+    return out.str();
+}
+
+std::string to_json(const Snapshot& snap) {
+    std::ostringstream counters;
+    std::ostringstream gauges;
+    std::ostringstream histograms;
+    bool first_c = true;
+    bool first_g = true;
+    bool first_h = true;
+    for (const auto& e : snap.entries) {
+        switch (e.type) {
+            case MetricType::Counter:
+                counters << (first_c ? "" : ",") << "\"" << json_escape(json_key(e))
+                         << "\":" << e.value;
+                first_c = false;
+                break;
+            case MetricType::Gauge:
+                gauges << (first_g ? "" : ",") << "\"" << json_escape(json_key(e))
+                       << "\":" << e.gauge;
+                first_g = false;
+                break;
+            case MetricType::Histogram: {
+                histograms << (first_h ? "" : ",") << "\"" << json_escape(json_key(e))
+                           << "\":{\"count\":" << e.count << ",\"sum\":" << e.sum
+                           << ",\"buckets\":[";
+                const int last = last_nonzero_bucket(e.buckets);
+                std::uint64_t cumulative = 0;
+                for (int b = 0; b <= last; ++b) {
+                    cumulative += e.buckets[static_cast<std::size_t>(b)];
+                    histograms << (b == 0 ? "" : ",") << "["
+                               << Histogram::bucket_upper(b) << "," << cumulative << "]";
+                }
+                histograms << "]}";
+                first_h = false;
+                break;
+            }
+        }
+    }
+    std::ostringstream out;
+    out << "{\"counters\":{" << counters.str() << "},\"gauges\":{" << gauges.str()
+        << "},\"histograms\":{" << histograms.str() << "}}";
+    return out.str();
+}
+
+bool write_prometheus_file(const Snapshot& snap, const std::string& path) {
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) {
+            return false;
+        }
+        out << to_prometheus(snap);
+        if (!out) {
+            return false;
+        }
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace hdls::metrics

@@ -1,0 +1,30 @@
+#pragma once
+/// \file exposition.hpp
+/// Exporters for metrics::Snapshot: Prometheus text exposition format
+/// (scrapeable file / on-demand dump) and JSON (embedded in
+/// ExecutionReport / SimReport and every bench's --json output).
+
+#include <string>
+
+#include "metrics/metrics.hpp"
+
+namespace hdls::metrics {
+
+/// Renders the snapshot in Prometheus text exposition format v0.0.4:
+/// one `# HELP` / `# TYPE` pair per metric family, `_bucket{le="..."}`
+/// cumulative bucket series plus `_sum` / `_count` for histograms.
+/// Trailing all-zero histogram buckets are elided (the `+Inf` bucket is
+/// always present, so the series stays valid and cumulative).
+[[nodiscard]] std::string to_prometheus(const Snapshot& snap);
+
+/// Renders the snapshot as a JSON object:
+///   {"counters": {"name{label=\"v\"}": n, ...},
+///    "gauges": {...},
+///    "histograms": {"name": {"count": n, "sum": n, "buckets": [[le, cum], ...]}}}
+[[nodiscard]] std::string to_json(const Snapshot& snap);
+
+/// Writes `to_prometheus(snap)` atomically-ish (tmp file + rename) so a
+/// concurrent scraper never reads a torn file. Returns false on I/O error.
+bool write_prometheus_file(const Snapshot& snap, const std::string& path);
+
+}  // namespace hdls::metrics

@@ -1,0 +1,94 @@
+#include "metrics/sampler.hpp"
+
+#include <utility>
+
+#include "metrics/exposition.hpp"
+#include "util/log.hpp"
+
+namespace hdls::metrics {
+
+MetricsSampler::MetricsSampler(MetricsRegistry& registry, std::chrono::milliseconds period,
+                               std::size_t max_samples)
+    : registry_(registry),
+      period_(period),
+      max_samples_(max_samples == 0 ? 1 : max_samples),
+      start_time_(std::chrono::steady_clock::now()) {}
+
+MetricsSampler::~MetricsSampler() { stop(); }
+
+void MetricsSampler::set_exposition_file(std::string path) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    exposition_file_ = std::move(path);
+}
+
+void MetricsSampler::start() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) {
+        return;
+    }
+    running_ = true;
+    stop_requested_ = false;
+    start_time_ = std::chrono::steady_clock::now();
+    thread_ = std::thread([this] { run(); });
+}
+
+void MetricsSampler::stop() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!running_) {
+            return;
+        }
+        stop_requested_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        running_ = false;
+    }
+    take_sample();  // final sample so short runs always leave data behind
+}
+
+void MetricsSampler::sample_now() { take_sample(); }
+
+std::vector<MetricsSampler::Sample> MetricsSampler::series() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {series_.begin(), series_.end()};
+}
+
+void MetricsSampler::run() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_requested_) {
+        if (cv_.wait_for(lock, period_, [this] { return stop_requested_; })) {
+            break;
+        }
+        lock.unlock();
+        take_sample();
+        lock.lock();
+    }
+}
+
+void MetricsSampler::take_sample() {
+    // Snapshot outside mutex_: registry_.snapshot() has its own lock and
+    // can be slow relative to the series bookkeeping.
+    Sample s;
+    s.t_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                start_time_)
+                      .count();
+    s.snapshot = registry_.snapshot();
+
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        series_.push_back(s);
+        while (series_.size() > max_samples_) {
+            series_.pop_front();
+        }
+        path = exposition_file_;
+    }
+    if (!path.empty() && !write_prometheus_file(s.snapshot, path)) {
+        util::log_warn("metrics: failed to write exposition file '", path, "'");
+    }
+}
+
+}  // namespace hdls::metrics

@@ -1,0 +1,76 @@
+#pragma once
+/// \file sampler.hpp
+/// Background metrics sampler: snapshots a MetricsRegistry on a fixed
+/// period into a bounded in-memory time series, optionally re-writing a
+/// Prometheus exposition file on every tick so external scrapers (or
+/// `examples/metrics_dashboard`) always see fresh data.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+
+namespace hdls::metrics {
+
+class MetricsSampler {
+public:
+    struct Sample {
+        double t_seconds = 0.0;  ///< seconds since start()
+        Snapshot snapshot;
+    };
+
+    /// \param registry   registry to sample (usually metrics::registry()).
+    /// \param period     sampling period.
+    /// \param max_samples bound on the retained series (oldest dropped).
+    explicit MetricsSampler(MetricsRegistry& registry,
+                            std::chrono::milliseconds period = std::chrono::milliseconds(100),
+                            std::size_t max_samples = 512);
+    ~MetricsSampler();
+
+    MetricsSampler(const MetricsSampler&) = delete;
+    MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+    /// Re-write this Prometheus exposition file on every sample (and once
+    /// more on stop()). Set before start().
+    void set_exposition_file(std::string path);
+
+    /// Starts the background thread. Idempotent.
+    void start();
+
+    /// Takes one final sample, writes the exposition file a last time and
+    /// joins the thread. Idempotent; also called by the destructor.
+    void stop();
+
+    /// Takes a sample synchronously (usable without start(), e.g. tests).
+    void sample_now();
+
+    /// Copy of the retained series, oldest first.
+    [[nodiscard]] std::vector<Sample> series() const;
+
+    [[nodiscard]] std::chrono::milliseconds period() const noexcept { return period_; }
+
+private:
+    void run();
+    void take_sample();
+
+    MetricsRegistry& registry_;
+    std::chrono::milliseconds period_;
+    std::size_t max_samples_;
+    std::string exposition_file_;
+    std::chrono::steady_clock::time_point start_time_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<Sample> series_;
+    std::thread thread_;
+    bool running_ = false;
+    bool stop_requested_ = false;
+};
+
+}  // namespace hdls::metrics

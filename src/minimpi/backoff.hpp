@@ -28,6 +28,8 @@
 #include <chrono>
 #include <thread>
 
+#include "metrics/metrics.hpp"
+
 namespace minimpi {
 
 enum class LockPolicy {
@@ -57,9 +59,14 @@ public:
         }
         if (attempts_ < kPauseAttempts + kYieldAttempts) {
             ++attempts_;
+            // Metrics only past the pause phase: a yield/sleep costs µs, so
+            // the relaxed fetch_add is noise there; the pause spins stay
+            // instrumentation-free.
+            hdls::metrics::rt().window_backoff_yields->inc();
             std::this_thread::yield();
             return;
         }
+        hdls::metrics::rt().window_backoff_sleeps->inc();
         std::this_thread::sleep_for(std::chrono::microseconds(sleep_us_));
         if (sleep_us_ < kMaxSleepUs) {
             sleep_us_ *= 2;

@@ -18,20 +18,26 @@ std::atomic<LockPolicy> g_lock_policy{LockPolicy::Backoff};
 
 /// Acquires via the configured polling discipline: `try_acquire` is the
 /// lock-attempt message, `block` the OS fallback of LockPolicy::Block.
+/// Every epoch counts one hdls_window_locks_total; each failed poll is a
+/// hdls_window_lock_retries_total (invisible under Block — the OS owns
+/// the wait there).
 template <typename TryFn, typename BlockFn>
 void acquire_polled(TryFn&& try_acquire, BlockFn&& block) {
+    hdls::metrics::rt().window_locks->inc();
     switch (g_lock_policy.load(std::memory_order_relaxed)) {
         case LockPolicy::Block:
             block();
             return;
         case LockPolicy::Spin:
             while (!try_acquire()) {
+                hdls::metrics::rt().window_lock_retries->inc();
                 std::this_thread::yield();
             }
             return;
         case LockPolicy::Backoff: {
             Backoff backoff;
             while (!try_acquire()) {
+                hdls::metrics::rt().window_lock_retries->inc();
                 backoff.pause();
             }
             return;

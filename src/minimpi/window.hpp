@@ -62,8 +62,10 @@ public:
         if (const auto applied = attempt_()) {
             result_ = *applied;
             done_ = true;
+            hdls::metrics::rt().window_requests_completed->inc();
             return true;
         }
+        hdls::metrics::rt().window_cas_retries->inc();
         backoff_.pause();
         return false;
     }
@@ -275,6 +277,7 @@ public:
             if (prev == old) {
                 return old;
             }
+            hdls::metrics::rt().window_cas_retries->inc();
             old = prev;
         }
     }

@@ -5,9 +5,11 @@
 #include "ompsim/team.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "dls/chunk_formulas.hpp"
+#include "metrics/metrics.hpp"
 
 namespace hdls::ompsim {
 
@@ -105,6 +107,7 @@ void ThreadTeam::barrier() {
     if (current_thread_id_ == -1) {
         throw std::logic_error("ThreadTeam: barrier() outside a parallel region");
     }
+    const auto idle_t0 = std::chrono::steady_clock::now();
     std::unique_lock<std::mutex> lock(barrier_mutex_);
     const std::uint64_t my_epoch = barrier_epoch_;
     if (++barrier_arrived_ == size()) {
@@ -112,9 +115,13 @@ void ThreadTeam::barrier() {
         ++barrier_epoch_;
         lock.unlock();
         barrier_cv_.notify_all();
-        return;
+        return;  // the releasing arrival waited for nobody
     }
     barrier_cv_.wait(lock, [&] { return barrier_epoch_ != my_epoch; });
+    metrics::rt().team_idle_ns->inc(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - idle_t0)
+            .count()));
 }
 
 ThreadTeam::Workshare& ThreadTeam::acquire_workshare(std::int64_t begin, std::int64_t end,
@@ -254,7 +261,15 @@ void ThreadTeam::for_chunks(std::int64_t begin, std::int64_t end, const ForOptio
         throw std::invalid_argument("ThreadTeam: end must be >= begin");
     }
     Workshare& ws = acquire_workshare(begin, end, opts);
-    dispatch(ws, opts, body, current_thread_id_);
+    // Count every dispatched sub-chunk; the two-pointer capture stays in
+    // std::function's small-buffer storage, so no allocation per call.
+    metrics::Counter* const team_chunks = metrics::rt().team_chunks;
+    const ChunkBody counted = [team_chunks, &body](std::int64_t b, std::int64_t e,
+                                                   int thread_id) {
+        team_chunks->inc();
+        body(b, e, thread_id);
+    };
+    dispatch(ws, opts, counted, current_thread_id_);
 }
 
 void ThreadTeam::for_each(std::int64_t begin, std::int64_t end, const ForOptions& opts,

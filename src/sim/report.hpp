@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "dls/technique.hpp"
+#include "metrics/metrics.hpp"
 #include "minimpi/topology.hpp"
 #include "trace/trace.hpp"
 
@@ -39,6 +40,10 @@ struct SimReport {
     std::vector<SimWorker> workers;
     /// Virtual-time chunk-lifecycle events; null unless SimConfig::trace.
     std::shared_ptr<const trace::Trace> trace;
+    /// Runtime-metrics delta for this simulation (the simulator mirrors its
+    /// virtual-time accounting into the process-wide registry so sim and
+    /// real runs export through the same Prometheus/JSON pipeline).
+    metrics::Snapshot metrics;
 
     [[nodiscard]] std::int64_t executed_iterations() const noexcept;
     [[nodiscard]] std::int64_t global_chunks() const noexcept;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "metrics/metrics.hpp"
 #include "sim/engines.hpp"
 #include "sim/inter_source.hpp"
 
@@ -70,19 +71,35 @@ SimReport simulate(ExecModel model, const ClusterSpec& cluster, const SimConfig&
     if (config.fac_mu <= 0.0) {
         throw std::invalid_argument("simulate: fac_mu must be > 0");
     }
+    const metrics::Snapshot before = metrics::registry().snapshot();
+    SimReport report;
     switch (model) {
         case ExecModel::MpiMpi:
-            return detail::simulate_shared_queue(cluster, config, trace,
-                                                 /*polling_lock=*/true,
-                                                 /*any_rank_refills=*/true);
+            report = detail::simulate_shared_queue(cluster, config, trace,
+                                                   /*polling_lock=*/true,
+                                                   /*any_rank_refills=*/true);
+            break;
         case ExecModel::MpiOpenMpNowait:
-            return detail::simulate_shared_queue(cluster, config, trace,
-                                                 /*polling_lock=*/false,
-                                                 /*any_rank_refills=*/false);
+            report = detail::simulate_shared_queue(cluster, config, trace,
+                                                   /*polling_lock=*/false,
+                                                   /*any_rank_refills=*/false);
+            break;
         case ExecModel::MpiOpenMp:
-            return detail::simulate_hybrid_barrier(cluster, config, trace);
+            report = detail::simulate_hybrid_barrier(cluster, config, trace);
+            break;
+        default:
+            throw std::invalid_argument("simulate: unknown execution model");
     }
-    throw std::invalid_argument("simulate: unknown execution model");
+    // Mirror the simulated run into the process-wide registry so simulated
+    // and real executions export through the same Prometheus/JSON pipeline
+    // (level 0 = the inter-node queue, the leaf = sub-chunk execution).
+    const metrics::RuntimeMetrics& m = metrics::rt();
+    m.exec_chunks->inc(static_cast<std::uint64_t>(report.sub_chunks()));
+    m.exec_iterations->inc(static_cast<std::uint64_t>(report.executed_iterations()));
+    m.acquires[0]->inc(static_cast<std::uint64_t>(report.global_chunks()));
+    m.refills[0]->inc(static_cast<std::uint64_t>(report.global_chunks()));
+    report.metrics = metrics::registry().snapshot().delta_since(before);
+    return report;
 }
 
 }  // namespace hdls::sim

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "metrics/metrics.hpp"
+#include "util/log.hpp"
+
 namespace hdls::trace {
 
 TraceSession::TraceSession(int workers, std::size_t capacity_per_worker)
@@ -26,10 +29,20 @@ WorkerTracer TraceSession::tracer(int worker, int node) noexcept {
 Trace TraceSession::merge() {
     Trace trace;
     trace.dropped_per_worker.assign(buffers_.size(), 0);
+    std::int64_t total_dropped = 0;
     for (std::size_t w = 0; w < buffers_.size(); ++w) {
         auto events = buffers_[w]->drain();
         trace.events.insert(trace.events.end(), events.begin(), events.end());
         trace.dropped_per_worker[w] = static_cast<std::int64_t>(buffers_[w]->dropped());
+        total_dropped += trace.dropped_per_worker[w];
+    }
+    if (total_dropped > 0) {
+        // The drop counts used to be visible only to callers who went on to
+        // run trace::analyze — surface the loss where it happens.
+        metrics::rt().trace_ring_dropped->inc(static_cast<std::uint64_t>(total_dropped));
+        util::log_warn("trace: ring buffers dropped ", total_dropped,
+                       " event(s); the merged trace is incomplete (raise "
+                       "HierConfig::trace_capacity to keep them)");
     }
     std::stable_sort(trace.events.begin(), trace.events.end(),
                      [](const Event& x, const Event& y) {

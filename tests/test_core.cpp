@@ -521,6 +521,40 @@ TEST(EnvConfigTest, InterBackendEnvThrowsOnUnknownValues) {
     EXPECT_EQ(inter_backend_from_env(), hdls::dls::InterBackend::Centralized);
 }
 
+TEST(EnvConfigTest, MetricsEnvThrowsOnNonBooleanValues) {
+    ::setenv("HDLS_METRICS", "1", 1);
+    EXPECT_TRUE(metrics_from_env());
+    ::setenv("HDLS_METRICS", "off", 1);
+    EXPECT_FALSE(metrics_from_env(true));
+    ::setenv("HDLS_METRICS", "sometimes", 1);
+    EXPECT_THROW((void)metrics_from_env(), std::invalid_argument);
+    ::unsetenv("HDLS_METRICS");
+    EXPECT_FALSE(metrics_from_env());
+    EXPECT_TRUE(metrics_from_env(true));
+}
+
+TEST(EnvConfigTest, MetricsPeriodEnvThrowsOnNonPositiveValues) {
+    ::setenv("HDLS_METRICS_PERIOD_MS", " 250 ", 1);
+    EXPECT_EQ(metrics_period_from_env(), std::chrono::milliseconds(250));
+    for (const char* bad : {"0", "-5", "fast", "100x", ""}) {
+        ::setenv("HDLS_METRICS_PERIOD_MS", bad, 1);
+        EXPECT_THROW((void)metrics_period_from_env(), std::invalid_argument) << bad;
+    }
+    ::unsetenv("HDLS_METRICS_PERIOD_MS");
+    EXPECT_EQ(metrics_period_from_env(), std::chrono::milliseconds(100));
+    EXPECT_EQ(metrics_period_from_env(std::chrono::milliseconds(7)),
+              std::chrono::milliseconds(7));
+}
+
+TEST(EnvConfigTest, MetricsFileEnvThrowsOnEmptyPath) {
+    ::setenv("HDLS_METRICS_FILE", "/tmp/custom.prom", 1);
+    EXPECT_EQ(metrics_file_from_env(), "/tmp/custom.prom");
+    ::setenv("HDLS_METRICS_FILE", "", 1);
+    EXPECT_THROW((void)metrics_file_from_env(), std::invalid_argument);
+    ::unsetenv("HDLS_METRICS_FILE");
+    EXPECT_EQ(metrics_file_from_env(), "hdls-metrics.prom");
+}
+
 TEST(EnvConfigTest, MultiLevelSchedulesParseAndRoundTrip) {
     const auto cfg = parse_schedule("fac2+gss+ss,min_chunk=2");
     ASSERT_TRUE(cfg.has_value());
