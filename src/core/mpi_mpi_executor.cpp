@@ -75,10 +75,20 @@ WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierCo
 
     // Rank 0 lends the watchdog a view into the sharded root: per-shard
     // remaining counts (atomic reads on the RMA window) so a stall dump
-    // can name the starved shard. Cleared before hier.free() below — the
-    // probe must not outlive the window it reads.
+    // can name the starved shard. The probe must not outlive the window it
+    // reads, so the guard below clears it on *every* exit path — a chunk
+    // body that throws unwinds through hier's destructor (freeing the
+    // window) while the watchdog thread may be mid-check.
     metrics::StallWatchdog* const wd =
         world.rank() == 0 ? metrics::active_watchdog() : nullptr;
+    struct ProbeGuard {
+        metrics::StallWatchdog* wd;
+        ~ProbeGuard() {
+            if (wd != nullptr) {
+                wd->clear_shard_probe();
+            }
+        }
+    } probe_guard{wd};
     if (wd != nullptr) {
         if (const auto* sharded = dynamic_cast<const ShardedInterQueue*>(&hier.root())) {
             const int shards = rh.tree.front().fan_out;
@@ -135,6 +145,8 @@ WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierCo
     stats.global_refills = source.refills();
     stats.finish_seconds = seconds_since(t0);
 
+    // probe_guard only fires after this explicit free, so clear the probe
+    // by hand first; the guard's second clear is an idempotent no-op.
     if (wd != nullptr) {
         wd->clear_shard_probe();
     }

@@ -137,13 +137,19 @@ ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
     // background sampler (Prometheus exposition file, HDLS_METRICS_FILE)
     // and the stall watchdog for the duration of the run, both on the
     // HDLS_METRICS_PERIOD_MS cadence.
+    // Note: the registry (and the single watchdog hook) are process-wide,
+    // so two overlapping run_hierarchical calls in one process would see
+    // each other's counts in their metrics deltas; the runtime assumes one
+    // run at a time per process. The guard restores whatever watchdog was
+    // installed before this run — on every exit path, so a thrown executor
+    // error cannot leave the hook pointing at a dead watchdog — which at
+    // least keeps an outer run's watchdog alive across an inner run.
     const metrics::Snapshot metrics_before = metrics::registry().snapshot();
     std::unique_ptr<metrics::MetricsSampler> sampler;
     std::unique_ptr<metrics::StallWatchdog> watchdog;
-    // Uninstalls on every exit path: a thrown executor error must not leave
-    // the global hook pointing at a dead watchdog.
     struct WatchdogGuard {
-        ~WatchdogGuard() { metrics::install_watchdog(nullptr); }
+        metrics::StallWatchdog* const prev = metrics::active_watchdog();
+        ~WatchdogGuard() { metrics::install_watchdog(prev); }
     } watchdog_guard;
     if (metrics_from_env()) {
         const std::chrono::milliseconds period = metrics_period_from_env();
@@ -185,7 +191,7 @@ ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
     }
 
     if (watchdog) {
-        metrics::install_watchdog(nullptr);
+        metrics::install_watchdog(watchdog_guard.prev);
         watchdog->stop();
     }
     if (sampler) {

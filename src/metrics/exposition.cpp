@@ -1,8 +1,12 @@
 #include "metrics/exposition.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace hdls::metrics {
 
@@ -129,37 +133,55 @@ std::string json_key(const SnapshotEntry& e) {
 }  // namespace
 
 std::string to_prometheus(const Snapshot& snap) {
-    std::ostringstream out;
-    std::string last_header;  // HELP/TYPE emitted once per family
+    // Group entries by family (metric name), families in first-appearance
+    // order: the text format allows exactly one HELP/TYPE header per name,
+    // so label sets that were registered interleaved with other families
+    // must still be emitted under a single header block.
+    std::vector<std::pair<std::string_view, std::vector<const SnapshotEntry*>>> families;
     for (const auto& e : snap.entries) {
-        if (e.name != last_header) {
-            out << "# HELP " << e.name << ' ' << e.help << '\n';
-            out << "# TYPE " << e.name << ' ' << type_name(e.type) << '\n';
-            last_header = e.name;
+        const auto it = std::find_if(families.begin(), families.end(),
+                                     [&](const auto& f) { return f.first == e.name; });
+        if (it == families.end()) {
+            families.emplace_back(e.name, std::vector<const SnapshotEntry*>{&e});
+        } else {
+            it->second.push_back(&e);
         }
-        switch (e.type) {
-            case MetricType::Counter:
-                out << e.name << label_block(e.labels) << ' ' << e.value << '\n';
-                break;
-            case MetricType::Gauge:
-                out << e.name << label_block(e.labels) << ' ' << e.gauge << '\n';
-                break;
-            case MetricType::Histogram: {
-                const int last = last_nonzero_bucket(e.buckets);
-                std::uint64_t cumulative = 0;
-                for (int b = 0; b <= last; ++b) {
-                    cumulative += e.buckets[static_cast<std::size_t>(b)];
-                    out << e.name << "_bucket"
-                        << label_block(e.labels, "le",
-                                       std::to_string(Histogram::bucket_upper(b)))
-                        << ' ' << cumulative << '\n';
+    }
+    std::ostringstream out;
+    for (const auto& [name, entries] : families) {
+        out << "# HELP " << name << ' ' << entries.front()->help << '\n';
+        out << "# TYPE " << name << ' ' << type_name(entries.front()->type) << '\n';
+        for (const SnapshotEntry* pe : entries) {
+            const SnapshotEntry& e = *pe;
+            switch (e.type) {
+                case MetricType::Counter:
+                    out << e.name << label_block(e.labels) << ' ' << e.value << '\n';
+                    break;
+                case MetricType::Gauge:
+                    out << e.name << label_block(e.labels) << ' ' << e.gauge << '\n';
+                    break;
+                case MetricType::Histogram: {
+                    // Finite le edges stop before the overflow bucket: it
+                    // is unbounded, so its observations surface only under
+                    // +Inf (and in _count/_sum).
+                    const int last = std::min(last_nonzero_bucket(e.buckets),
+                                              Histogram::kBuckets - 2);
+                    std::uint64_t cumulative = 0;
+                    for (int b = 0; b <= last; ++b) {
+                        cumulative += e.buckets[static_cast<std::size_t>(b)];
+                        out << e.name << "_bucket"
+                            << label_block(e.labels, "le",
+                                           std::to_string(Histogram::bucket_upper(b)))
+                            << ' ' << cumulative << '\n';
+                    }
+                    out << e.name << "_bucket" << label_block(e.labels, "le", "+Inf")
+                        << ' ' << e.count << '\n';
+                    out << e.name << "_sum" << label_block(e.labels) << ' ' << e.sum
+                        << '\n';
+                    out << e.name << "_count" << label_block(e.labels) << ' ' << e.count
+                        << '\n';
+                    break;
                 }
-                out << e.name << "_bucket" << label_block(e.labels, "le", "+Inf") << ' '
-                    << e.count << '\n';
-                out << e.name << "_sum" << label_block(e.labels) << ' ' << e.sum << '\n';
-                out << e.name << "_count" << label_block(e.labels) << ' ' << e.count
-                    << '\n';
-                break;
             }
         }
     }
@@ -189,7 +211,11 @@ std::string to_json(const Snapshot& snap) {
                 histograms << (first_h ? "" : ",") << "\"" << json_escape(json_key(e))
                            << "\":{\"count\":" << e.count << ",\"sum\":" << e.sum
                            << ",\"buckets\":[";
-                const int last = last_nonzero_bucket(e.buckets);
+                // Same finite-edge rule as the Prometheus form: overflow
+                // observations are implied by count exceeding the last
+                // cumulative pair, never attributed to a finite bound.
+                const int last =
+                    std::min(last_nonzero_bucket(e.buckets), Histogram::kBuckets - 2);
                 std::uint64_t cumulative = 0;
                 for (int b = 0; b <= last; ++b) {
                     cumulative += e.buckets[static_cast<std::size_t>(b)];

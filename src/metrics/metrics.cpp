@@ -233,22 +233,39 @@ RuntimeMetrics make_runtime_metrics() {
         &reg.counter("hdls_window_requests_completed_total",
                      "Nonblocking atomic-update requests completed");
 
+    // Family-major: all levels of one family before the next, so the
+    // snapshot (and hence the exposition file) keeps each family's label
+    // sets contiguous — the Prometheus text format allows exactly one
+    // HELP/TYPE header per metric name.
+    const auto level_labels = [](int lv) {
+        return Labels{{"level", std::to_string(lv)}};
+    };
     for (int lv = 0; lv < kMaxLevels; ++lv) {
-        const Labels labels{{"level", std::to_string(lv)}};
-        const auto i = static_cast<std::size_t>(lv);
-        m.acquires[i] = &reg.counter("hdls_sched_acquires_total",
-                                     "Chunks acquired from the parent work source "
-                                     "(own share)",
-                                     labels);
-        m.steals[i] = &reg.counter("hdls_sched_steals_total",
-                                   "Chunks stolen from other nodes' shards", labels);
-        m.refills[i] = &reg.counter("hdls_sched_refills_total",
-                                    "Refill transactions performed by a level", labels);
-        m.pops[i] = &reg.counter("hdls_sched_pops_total",
-                                 "Sub-chunks popped from a level's local queue", labels);
-        m.acquire_latency_ns[i] =
+        m.acquires[static_cast<std::size_t>(lv)] =
+            &reg.counter("hdls_sched_acquires_total",
+                         "Chunks acquired from the parent work source (own share)",
+                         level_labels(lv));
+    }
+    for (int lv = 0; lv < kMaxLevels; ++lv) {
+        m.steals[static_cast<std::size_t>(lv)] =
+            &reg.counter("hdls_sched_steals_total",
+                         "Chunks stolen from other nodes' shards", level_labels(lv));
+    }
+    for (int lv = 0; lv < kMaxLevels; ++lv) {
+        m.refills[static_cast<std::size_t>(lv)] =
+            &reg.counter("hdls_sched_refills_total",
+                         "Refill transactions performed by a level", level_labels(lv));
+    }
+    for (int lv = 0; lv < kMaxLevels; ++lv) {
+        m.pops[static_cast<std::size_t>(lv)] =
+            &reg.counter("hdls_sched_pops_total",
+                         "Sub-chunks popped from a level's local queue", level_labels(lv));
+    }
+    for (int lv = 0; lv < kMaxLevels; ++lv) {
+        m.acquire_latency_ns[static_cast<std::size_t>(lv)] =
             &reg.histogram("hdls_sched_acquire_latency_ns",
-                           "Latency of parent acquire attempts in nanoseconds", labels);
+                           "Latency of parent acquire attempts in nanoseconds",
+                           level_labels(lv));
     }
     m.prefetch_hits = &reg.counter("hdls_sched_prefetch_hits_total",
                                    "Acquires served from the prefetch slot");

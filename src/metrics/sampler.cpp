@@ -33,19 +33,21 @@ void MetricsSampler::start() {
 }
 
 void MetricsSampler::stop() {
+    // running_ is cleared and the thread handle claimed under the mutex so
+    // concurrent stop() calls cannot both join (UB); the loser returns
+    // early and a concurrent start() sees a moved-from, assignable handle.
+    std::thread worker;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (!running_) {
             return;
         }
+        running_ = false;
         stop_requested_ = true;
+        worker = std::move(thread_);
     }
     cv_.notify_all();
-    thread_.join();
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        running_ = false;
-    }
+    worker.join();
     take_sample();  // final sample so short runs always leave data behind
 }
 

@@ -152,17 +152,21 @@ void StallWatchdog::start(std::chrono::milliseconds period) {
 }
 
 void StallWatchdog::stop() {
+    // Same discipline as MetricsSampler::stop(): clear running_ and claim
+    // the thread handle under the mutex so two concurrent stop() calls
+    // cannot both join the same thread.
+    std::thread checker;
     {
         std::lock_guard<std::mutex> lock(stop_mutex_);
         if (!running_) {
             return;
         }
+        running_ = false;
         stop_requested_ = true;
+        checker = std::move(thread_);
     }
     stop_cv_.notify_all();
-    thread_.join();
-    std::lock_guard<std::mutex> lock(stop_mutex_);
-    running_ = false;
+    checker.join();
 }
 
 std::string StallWatchdog::last_dump() const {

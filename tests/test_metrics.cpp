@@ -238,6 +238,49 @@ TEST(MetricsTest, PrometheusExpositionMatchesGoldenFormat) {
     EXPECT_EQ(metrics::to_prometheus(reg.snapshot()), expected);
 }
 
+TEST(MetricsTest, ExpositionGroupsInterleavedFamiliesUnderOneHeader) {
+    // Label sets registered interleaved across families (the shape the
+    // per-level runtime families used to have) must still come out as one
+    // HELP/TYPE block per family — Prometheus parsers reject duplicates.
+    MetricsRegistry reg;
+    for (int lv = 0; lv < 3; ++lv) {
+        const Labels labels{{"level", std::to_string(lv)}};
+        reg.counter("t_a_total", "a", labels).inc(static_cast<std::uint64_t>(lv) + 1);
+        reg.counter("t_b_total", "b", labels).inc(1);
+    }
+    const std::string text = metrics::to_prometheus(reg.snapshot());
+    const auto count_of = [&text](const std::string& needle) {
+        std::size_t n = 0;
+        for (std::size_t pos = text.find(needle); pos != std::string::npos;
+             pos = text.find(needle, pos + 1)) {
+            ++n;
+        }
+        return n;
+    };
+    EXPECT_EQ(count_of("# HELP t_a_total"), 1u);
+    EXPECT_EQ(count_of("# TYPE t_a_total"), 1u);
+    EXPECT_EQ(count_of("# HELP t_b_total"), 1u);
+    EXPECT_EQ(count_of("# TYPE t_b_total"), 1u);
+    // All of a family's samples sit directly under its single header.
+    EXPECT_LT(text.find("t_a_total{level=\"2\"} 3"), text.find("# HELP t_b_total"));
+}
+
+TEST(MetricsTest, OverflowBucketRendersOnlyUnderInf) {
+    // The last bucket is unbounded: an observation beyond the largest
+    // finite edge must not be attributed to any finite le bound.
+    MetricsRegistry reg;
+    Histogram& h = reg.histogram("t_ns", "h");
+    h.observe(~std::uint64_t{0});
+    const std::string text = metrics::to_prometheus(reg.snapshot());
+    const std::string top_edge =
+        std::to_string(Histogram::bucket_upper(Histogram::kBuckets - 1));
+    EXPECT_EQ(text.find("le=\"" + top_edge + "\""), std::string::npos);
+    EXPECT_NE(text.find("t_ns_bucket{le=\"+Inf\"} 1"), std::string::npos);
+    EXPECT_NE(text.find("t_ns_count 1"), std::string::npos);
+    const std::string json = metrics::to_json(reg.snapshot());
+    EXPECT_EQ(json.find(top_edge), std::string::npos);
+}
+
 TEST(MetricsTest, PrometheusFileWriteIsAtomicAndReadable) {
     MetricsRegistry reg;
     reg.counter("t_total", "t").inc(9);
@@ -278,6 +321,32 @@ TEST(MetricsTest, SamplerRetainsABoundedSeries) {
     ASSERT_EQ(series.size(), 4u);
     EXPECT_EQ(series.back().snapshot.counter_total("t_total"), 10u);
     EXPECT_EQ(series.front().snapshot.counter_total("t_total"), 7u);
+}
+
+TEST(MetricsTest, ConcurrentStopJoinsTheSamplerThreadExactlyOnce) {
+    // Two racing stop() calls (e.g. explicit stop vs. destructor on
+    // another thread) must not both join the worker — that is UB. Run the
+    // race a few times; TSan in CI checks the interleavings.
+    for (int round = 0; round < 20; ++round) {
+        MetricsRegistry reg;
+        metrics::MetricsSampler sampler(reg, std::chrono::milliseconds(1));
+        sampler.start();
+        std::thread a([&sampler] { sampler.stop(); });
+        std::thread b([&sampler] { sampler.stop(); });
+        a.join();
+        b.join();
+    }
+}
+
+TEST(WatchdogTest, ConcurrentStopJoinsTheCheckerThreadExactlyOnce) {
+    for (int round = 0; round < 20; ++round) {
+        StallWatchdog wd(1);
+        wd.start(std::chrono::milliseconds(1));
+        std::thread a([&wd] { wd.stop(); });
+        std::thread b([&wd] { wd.stop(); });
+        a.join();
+        b.join();
+    }
 }
 
 // ------------------------------------------------------- allocation freedom
