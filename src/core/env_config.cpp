@@ -300,6 +300,10 @@ std::chrono::milliseconds metrics_period_from_env(std::chrono::milliseconds fall
     return std::chrono::milliseconds(ms);
 }
 
+minimpi::TransportKind transport_from_env(minimpi::TransportKind fallback) {
+    return minimpi::transport_from_env(fallback);
+}
+
 std::string metrics_file_from_env(std::string fallback) {
     const char* value = std::getenv("HDLS_METRICS_FILE");
     if (value == nullptr) {

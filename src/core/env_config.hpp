@@ -27,15 +27,17 @@
 ///     HDLS_METRICS_PERIOD_MS — sampler/watchdog period in ms (default 100)
 ///     HDLS_METRICS_FILE   — Prometheus exposition file path (default
 ///                           "hdls-metrics.prom")
+///     HDLS_TRANSPORT      — "threads" | "shm" minimpi substrate of MPI+MPI
+///                           runs (thread mailboxes vs one POSIX shm segment)
 ///
 /// Malformed HDLS_SCHEDULE / HDLS_APPROACH / HDLS_TRACE fall back with a
 /// warning (mirroring how OpenMP runtimes treat bad OMP_SCHEDULE values);
 /// malformed HDLS_TOPOLOGY / HDLS_INTER_BACKEND / HDLS_PREFETCH /
-/// HDLS_METRICS / HDLS_METRICS_PERIOD_MS *throw* a one-line
-/// std::invalid_argument instead — a mis-shaped machine tree, an unknown
-/// backend or a typo'd toggle silently reverting to defaults would change
-/// what the run measures (or silently disable the observability the user
-/// asked for).
+/// HDLS_METRICS / HDLS_METRICS_PERIOD_MS / HDLS_TRANSPORT *throw* a
+/// one-line std::invalid_argument instead — a mis-shaped machine tree, an
+/// unknown backend or a typo'd toggle silently reverting to defaults would
+/// change what the run measures (or silently disable the observability the
+/// user asked for).
 
 #include <chrono>
 #include <optional>
@@ -116,5 +118,14 @@ namespace hdls::core {
 /// `fallback` when unset; throws std::invalid_argument when set but empty.
 [[nodiscard]] std::string metrics_file_from_env(
     std::string fallback = "hdls-metrics.prom");
+
+/// Reads HDLS_TRANSPORT ("threads" | "shm", case-insensitive): the minimpi
+/// substrate carrying MPI+MPI runs. Returns `fallback` when unset; throws
+/// std::invalid_argument when set to anything else (no silent fallback —
+/// a typo'd transport silently reverting to threads would change what the
+/// run exercises). Thin wrapper over minimpi::transport_from_env so the
+/// knob is documented with its HDLS_* siblings.
+[[nodiscard]] minimpi::TransportKind transport_from_env(
+    minimpi::TransportKind fallback = minimpi::TransportKind::Threads);
 
 }  // namespace hdls::core

@@ -54,6 +54,9 @@ void ExecutionReport::print(std::ostream& os) const {
     if (prefetch) {
         os << " [prefetch]";
     }
+    if (transport != minimpi::TransportKind::Threads) {
+        os << " {" << minimpi::transport_name(transport) << "}";
+    }
     os << "  nodes=" << shape.nodes
        << " workers/node=" << shape.workers_per_node << " N=" << total_iterations << "\n";
     if (topology.size() > 2) {

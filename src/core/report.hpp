@@ -34,6 +34,9 @@ struct ExecutionReport {
     dls::Technique inter{};
     dls::Technique intra{};
     dls::InterBackend inter_backend{};
+    /// Which minimpi substrate carried the run (threads unless the config
+    /// or HDLS_TRANSPORT selected shm).
+    minimpi::TransportKind transport = minimpi::TransportKind::Threads;
     /// Whether asynchronous chunk prefetching was enabled for the run.
     bool prefetch = false;
     /// The machine tree the run scheduled over (outermost level first) and

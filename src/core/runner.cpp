@@ -106,6 +106,11 @@ ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
         throw std::invalid_argument("run_hierarchical: body must not be empty");
     }
 
+    // The minimpi substrate: an explicit HierConfig choice wins, otherwise
+    // HDLS_TRANSPORT (strict parse — resolved before any thread launches).
+    const minimpi::TransportKind transport =
+        cfg.transport ? *cfg.transport : transport_from_env();
+
     ExecutionReport report;
     report.approach = approach;
     report.shape = shape;
@@ -113,6 +118,7 @@ ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
     report.intra = rh.levels.back().technique;
     report.inter_backend =
         rh.levels.front().backend.value_or(dls::InterBackend::Centralized);
+    report.transport = transport;
     // Report what actually ran: the depth-2 MPI+OpenMP chain is root-only
     // (no composed source to buffer in), so the knob is a no-op there.
     report.prefetch =
@@ -164,7 +170,8 @@ ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
     switch (approach) {
         case Approach::MpiMpi: {
             const minimpi::Topology topo = rh.topology();
-            minimpi::Runtime::run(shape.total_workers(), topo, [&](minimpi::Context& ctx) {
+            minimpi::Runtime::run(shape.total_workers(), topo, transport,
+                                  [&](minimpi::Context& ctx) {
                 const trace::WorkerTracer tracer =
                     session ? session->tracer(ctx.rank(), ctx.node()) : trace::WorkerTracer{};
                 const WorkerStats stats = run_mpi_mpi_rank(ctx, n, cfg, rh, body, tracer);
@@ -176,7 +183,7 @@ ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
         case Approach::MpiOpenMp: {
             minimpi::Topology topo;  // one master rank per leaf group
             topo.ranks_per_node = 1;
-            minimpi::Runtime::run(shape.nodes, topo, [&](minimpi::Context& ctx) {
+            minimpi::Runtime::run(shape.nodes, topo, transport, [&](minimpi::Context& ctx) {
                 const auto stats = run_hybrid_rank(ctx, shape.workers_per_node, n, cfg, rh,
                                                    body, session.get());
                 const std::lock_guard<std::mutex> lock(merge_mutex);

@@ -5,11 +5,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "dls/sharding.hpp"
 #include "dls/technique.hpp"
 #include "minimpi/topology.hpp"
+#include "minimpi/transport.hpp"
 
 namespace hdls::core {
 
@@ -101,6 +103,11 @@ struct HierConfig {
     /// backend inherits `inter_backend` (interior levels only; the leaf
     /// level is always the shared local queue).
     std::vector<LevelConfig> levels;
+    /// Communication substrate of the MPI+MPI runtime: in-process thread
+    /// mailboxes (Threads) or one POSIX shared-memory segment (Shm). Unset
+    /// defers to HDLS_TRANSPORT (default: threads). The chunk multiset a
+    /// HierConfig produces is transport-invariant. Ignored by MPI+OpenMP.
+    std::optional<minimpi::TransportKind> transport;
 };
 
 /// Loop body executed chunk-wise. MUST be thread-safe across disjoint

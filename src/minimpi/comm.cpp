@@ -96,7 +96,7 @@ void Comm::send_bytes(const void* data, std::size_t bytes, int dst, int tag) con
         std::memcpy(e.payload.data(), data, bytes);
     }
     const int world_dst = meta_->members[static_cast<std::size_t>(dst)];
-    state_->mailboxes[static_cast<std::size_t>(world_dst)]->push(std::move(e));
+    state_->mailbox(world_dst).push(std::move(e), state_->abort);
 }
 
 Status Comm::recv_bytes(void* data, std::size_t max_bytes, int src, int tag) const {
@@ -105,8 +105,7 @@ Status Comm::recv_bytes(void* data, std::size_t max_bytes, int src, int tag) con
     check_tag(tag, /*allow_wildcard=*/true);
     detail::MatchSpec spec{meta_->id, src, tag, /*collective=*/false, 0};
     const int my_world = meta_->members[static_cast<std::size_t>(rank_)];
-    detail::Envelope e =
-        state_->mailboxes[static_cast<std::size_t>(my_world)]->match(spec, state_->abort);
+    detail::Envelope e = state_->mailbox(my_world).match(spec, state_->abort);
     if (e.payload.size() > max_bytes) {
         throw Error(ErrorCode::Truncate,
                     "minimpi: message of " + std::to_string(e.payload.size()) +
@@ -125,7 +124,7 @@ Request Comm::irecv_bytes(void* data, std::size_t max_bytes, int src, int tag) c
     Request::RecvState rs;
     rs.state = state_;
     const int my_world = meta_->members[static_cast<std::size_t>(rank_)];
-    rs.mailbox = state_->mailboxes[static_cast<std::size_t>(my_world)].get();
+    rs.mailbox = &state_->mailbox(my_world);
     rs.spec = detail::MatchSpec{meta_->id, src, tag, /*collective=*/false, 0};
     rs.buffer = data;
     rs.max_bytes = max_bytes;
@@ -138,7 +137,7 @@ std::optional<Status> Comm::iprobe(int src, int tag) const {
     check_tag(tag, /*allow_wildcard=*/true);
     const detail::MatchSpec spec{meta_->id, src, tag, /*collective=*/false, 0};
     const int my_world = meta_->members[static_cast<std::size_t>(rank_)];
-    return state_->mailboxes[static_cast<std::size_t>(my_world)]->peek(spec);
+    return state_->mailbox(my_world).peek(spec);
 }
 
 Status Comm::probe(int src, int tag) const {
@@ -207,15 +206,14 @@ void Comm::coll_send(const void* data, std::size_t bytes, int dst, int phase,
         std::memcpy(e.payload.data(), data, bytes);
     }
     const int world_dst = meta_->members[static_cast<std::size_t>(dst)];
-    state_->mailboxes[static_cast<std::size_t>(world_dst)]->push(std::move(e));
+    state_->mailbox(world_dst).push(std::move(e), state_->abort);
 }
 
 std::size_t Comm::coll_recv(void* data, std::size_t max_bytes, int src, int phase,
                             std::uint64_t cseq) const {
     const detail::MatchSpec spec{meta_->id, src, phase, /*collective=*/true, cseq};
     const int my_world = meta_->members[static_cast<std::size_t>(rank_)];
-    detail::Envelope e =
-        state_->mailboxes[static_cast<std::size_t>(my_world)]->match(spec, state_->abort);
+    detail::Envelope e = state_->mailbox(my_world).match(spec, state_->abort);
     if (e.payload.size() > max_bytes) {
         throw Error(ErrorCode::Internal, "minimpi: collective buffer mismatch");
     }

@@ -1,22 +1,28 @@
 #pragma once
 /// \file mailbox.hpp
-/// Internal: per-rank message queue with MPI matching semantics.
+/// Internal: the per-rank message-queue *interface* with MPI matching
+/// semantics. Each Transport supplies its own implementation (see
+/// transport.hpp): the thread transport a mutex+condvar deque, the shm
+/// transport a lock-word slot table inside the shared segment.
 ///
 /// Sends are *eager*: the payload is copied into the destination mailbox
-/// and the send completes immediately (MPI's buffered/eager protocol).
-/// Receives scan the queue front-to-back for the first envelope matching
-/// (comm, source, tag, lane), which yields MPI's non-overtaking guarantee:
-/// two messages from the same sender with the same tag are received in
-/// send order.
+/// and the send completes as soon as the envelope is enqueued (MPI's
+/// buffered/eager protocol; a transport with bounded buffering may block
+/// the sender until a slot frees, which preserves eager semantics for any
+/// program that was correct under finite MPI buffering). Receives scan the
+/// queue front-to-back for the first envelope matching (comm, source, tag,
+/// lane), which yields MPI's non-overtaking guarantee: two messages from
+/// the same sender with the same tag are received in send order.
+///
+/// Abort contract: every potentially blocking entry point (push under
+/// backpressure, match) takes the runtime's abort flag and must observe it
+/// in bounded time, throwing ErrorCode::Aborted — a failing peer rank may
+/// never produce the message a receiver is parked on.
 ///
 /// Not part of the public API.
 
 #include <atomic>
-#include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -65,70 +71,29 @@ struct MatchSpec {
 /// the communicator id).
 class Mailbox {
 public:
-    void push(Envelope e) {
-        {
-            const std::lock_guard<std::mutex> lock(mutex_);
-            queue_.push_back(std::move(e));
-        }
-        cv_.notify_all();
-    }
+    virtual ~Mailbox() = default;
+
+    /// Eager enqueue. A bounded-buffer transport may block until a slot
+    /// frees; it must then poll `abort` and throw ErrorCode::Aborted
+    /// rather than wait on a dead peer.
+    virtual void push(Envelope e, const std::atomic<bool>& abort) = 0;
 
     /// Blocking matched pop. Polls the abort flag so a failing rank
     /// elsewhere unblocks this one instead of deadlocking the process.
-    Envelope match(const MatchSpec& spec, const std::atomic<bool>& abort) {
-        std::unique_lock<std::mutex> lock(mutex_);
-        for (;;) {
-            if (auto e = take_locked(spec)) {
-                return std::move(*e);
-            }
-            if (abort.load(std::memory_order_acquire)) {
-                throw Error(ErrorCode::Aborted, "minimpi: runtime aborting (peer rank failed)");
-            }
-            cv_.wait_for(lock, std::chrono::milliseconds(50));
-        }
-    }
+    virtual Envelope match(const MatchSpec& spec, const std::atomic<bool>& abort) = 0;
 
     /// Non-blocking matched pop.
-    std::optional<Envelope> try_match(const MatchSpec& spec) {
-        const std::lock_guard<std::mutex> lock(mutex_);
-        return take_locked(spec);
-    }
+    virtual std::optional<Envelope> try_match(const MatchSpec& spec) = 0;
 
     /// Non-destructive probe: status of the first matching envelope.
-    std::optional<Status> peek(const MatchSpec& spec) {
-        const std::lock_guard<std::mutex> lock(mutex_);
-        for (const Envelope& e : queue_) {
-            if (spec.matches(e)) {
-                return Status{e.src, e.tag, e.payload.size()};
-            }
-        }
-        return std::nullopt;
-    }
+    virtual std::optional<Status> peek(const MatchSpec& spec) = 0;
 
-    /// Wakes blocked receivers so they can observe the abort flag.
-    void interrupt() { cv_.notify_all(); }
+    /// Wakes blocked receivers so they can observe the abort flag (a no-op
+    /// for transports whose waits are polled).
+    virtual void interrupt() = 0;
 
     /// Number of queued envelopes (tests / leak detection).
-    [[nodiscard]] std::size_t pending() {
-        const std::lock_guard<std::mutex> lock(mutex_);
-        return queue_.size();
-    }
-
-private:
-    std::optional<Envelope> take_locked(const MatchSpec& spec) {
-        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-            if (spec.matches(*it)) {
-                Envelope e = std::move(*it);
-                queue_.erase(it);
-                return e;
-            }
-        }
-        return std::nullopt;
-    }
-
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    std::deque<Envelope> queue_;
+    [[nodiscard]] virtual std::size_t pending() = 0;
 };
 
 }  // namespace minimpi::detail

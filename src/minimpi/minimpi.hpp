@@ -11,9 +11,10 @@
 ///       ...
 ///   });
 
-#include "minimpi/backoff.hpp"  // IWYU pragma: export
-#include "minimpi/comm.hpp"     // IWYU pragma: export
-#include "minimpi/runtime.hpp"  // IWYU pragma: export
-#include "minimpi/topology.hpp" // IWYU pragma: export
-#include "minimpi/types.hpp"    // IWYU pragma: export
-#include "minimpi/window.hpp"   // IWYU pragma: export
+#include "minimpi/backoff.hpp"   // IWYU pragma: export
+#include "minimpi/comm.hpp"      // IWYU pragma: export
+#include "minimpi/runtime.hpp"   // IWYU pragma: export
+#include "minimpi/topology.hpp"  // IWYU pragma: export
+#include "minimpi/transport.hpp" // IWYU pragma: export
+#include "minimpi/types.hpp"     // IWYU pragma: export
+#include "minimpi/window.hpp"    // IWYU pragma: export

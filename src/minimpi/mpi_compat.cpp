@@ -62,6 +62,8 @@ thread_local CompatState* tls_state = nullptr;
             return MPI_ERR_TRUNCATE;
         case ErrorCode::WindowUsage:
             return MPI_ERR_WIN;
+        case ErrorCode::Resource:
+            return MPI_ERR_NO_MEM;
         case ErrorCode::Aborted:
         case ErrorCode::Internal:
             return MPI_ERR_OTHER;

@@ -63,6 +63,7 @@ inline constexpr int MPI_ERR_TAG = 4;
 inline constexpr int MPI_ERR_TRUNCATE = 15;
 inline constexpr int MPI_ERR_OP = 9;
 inline constexpr int MPI_ERR_WIN = 45;
+inline constexpr int MPI_ERR_NO_MEM = 34;
 inline constexpr int MPI_ERR_OTHER = 16;
 
 inline constexpr int MPI_ANY_SOURCE = -1;

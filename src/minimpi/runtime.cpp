@@ -27,6 +27,11 @@ constexpr std::uint64_t kWorldCommId = 1;
 
 void Runtime::run(int world_size, const Topology& topology,
                   const std::function<void(Context&)>& fn) {
+    run(world_size, topology, transport_from_env(), fn);
+}
+
+void Runtime::run(int world_size, const Topology& topology, TransportKind transport,
+                  const std::function<void(Context&)>& fn) {
     if (world_size < 1) {
         throw Error(ErrorCode::InvalidArgument, "minimpi: world_size must be >= 1");
     }
@@ -38,10 +43,7 @@ void Runtime::run(int world_size, const Topology& topology,
     detail::RuntimeState state;
     state.world_size = world_size;
     state.topology = topology;
-    state.mailboxes.reserve(static_cast<std::size_t>(world_size));
-    for (int r = 0; r < world_size; ++r) {
-        state.mailboxes.push_back(std::make_unique<detail::Mailbox>());
-    }
+    state.transport = detail::make_transport(transport, world_size);
 
     auto world_meta = std::make_shared<detail::CommMeta>();
     world_meta->id = kWorldCommId;
@@ -90,6 +92,13 @@ void Runtime::run(int world_size, const std::function<void(Context&)>& fn) {
     Topology topo;
     topo.ranks_per_node = world_size;  // everyone on one simulated node
     run(world_size, topo, fn);
+}
+
+void Runtime::run(int world_size, TransportKind transport,
+                  const std::function<void(Context&)>& fn) {
+    Topology topo;
+    topo.ranks_per_node = world_size;
+    run(world_size, topo, transport, fn);
 }
 
 }  // namespace minimpi

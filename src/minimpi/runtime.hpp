@@ -8,6 +8,7 @@
 
 #include "minimpi/comm.hpp"
 #include "minimpi/topology.hpp"
+#include "minimpi/transport.hpp"
 
 namespace minimpi {
 
@@ -28,6 +29,9 @@ public:
     /// Number of simulated compute nodes in this run.
     [[nodiscard]] int nodes() const noexcept { return state_->topology.nodes_for(size()); }
 
+    /// Which substrate carries this run (threads or shm).
+    [[nodiscard]] TransportKind transport() const noexcept { return state_->transport->kind(); }
+
 private:
     friend class Runtime;
     Context(detail::RuntimeState* state, Comm world) : state_(state), world_(std::move(world)) {}
@@ -43,11 +47,22 @@ public:
     /// joins them. If any rank throws, the runtime aborts the others
     /// (blocking calls fail with ErrorCode::Aborted) and rethrows the first
     /// *primary* exception in the caller's thread.
+    ///
+    /// The communication substrate is chosen by HDLS_TRANSPORT (default:
+    /// threads); a malformed value throws std::invalid_argument before any
+    /// rank is launched.
     static void run(int world_size, const Topology& topology,
                     const std::function<void(Context&)>& fn);
 
     /// Single-node convenience overload (all ranks share one node).
     static void run(int world_size, const std::function<void(Context&)>& fn);
+
+    /// Explicit-transport overloads: run on the given substrate regardless
+    /// of the environment.
+    static void run(int world_size, const Topology& topology, TransportKind transport,
+                    const std::function<void(Context&)>& fn);
+    static void run(int world_size, TransportKind transport,
+                    const std::function<void(Context&)>& fn);
 };
 
 }  // namespace minimpi

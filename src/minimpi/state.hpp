@@ -13,6 +13,7 @@
 
 #include "minimpi/mailbox.hpp"
 #include "minimpi/topology.hpp"
+#include "minimpi/transport.hpp"
 
 namespace minimpi::detail {
 
@@ -22,7 +23,13 @@ struct RuntimeState {
     int world_size = 0;
     Topology topology;
 
-    std::vector<std::unique_ptr<Mailbox>> mailboxes;  // indexed by world rank
+    /// The substrate carrying this run: mailboxes, window storage, abort
+    /// propagation. Owned here; rank threads only hold references.
+    std::unique_ptr<Transport> transport;
+
+    [[nodiscard]] Mailbox& mailbox(int world_rank) noexcept {
+        return transport->mailbox(world_rank);
+    }
 
     /// Set when any rank throws; blocking operations poll it and bail out
     /// with ErrorCode::Aborted so the whole team unwinds instead of hanging.
@@ -35,8 +42,8 @@ struct RuntimeState {
     std::unordered_map<std::uint64_t, std::shared_ptr<WindowImpl>> windows;
 
     void interrupt_all() {
-        for (auto& mb : mailboxes) {
-            mb->interrupt();
+        if (transport) {
+            transport->signal_abort();
         }
     }
 

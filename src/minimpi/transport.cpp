@@ -1,0 +1,49 @@
+/// \file transport.cpp
+/// Transport selection: the HDLS_TRANSPORT knob and the factory.
+
+#include "minimpi/transport.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "minimpi/transport_shm.hpp"
+#include "minimpi/transport_threads.hpp"
+
+namespace minimpi {
+
+TransportKind transport_from_env(TransportKind fallback) {
+    const char* raw = std::getenv("HDLS_TRANSPORT");
+    if (raw == nullptr || *raw == '\0') {
+        return fallback;
+    }
+    std::string value(raw);
+    for (char& c : value) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (value == "threads") {
+        return TransportKind::Threads;
+    }
+    if (value == "shm") {
+        return TransportKind::Shm;
+    }
+    throw std::invalid_argument(std::string("HDLS_TRANSPORT='") + raw +
+                                "' is not a transport (expected 'threads' or 'shm')");
+}
+
+namespace detail {
+
+std::unique_ptr<Transport> make_transport(TransportKind kind, int world_size) {
+    switch (kind) {
+        case TransportKind::Threads:
+            return std::make_unique<ThreadTransport>(world_size);
+        case TransportKind::Shm:
+            return std::make_unique<ShmTransport>(world_size);
+    }
+    throw Error(ErrorCode::InvalidArgument, "minimpi: unknown TransportKind");
+}
+
+}  // namespace detail
+
+}  // namespace minimpi

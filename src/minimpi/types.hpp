@@ -37,6 +37,7 @@ enum class ErrorCode {
     Truncate,       ///< receive buffer smaller than the matched message
     WindowUsage,    ///< bad window rank/offset/alignment
     Aborted,        ///< another rank terminated with an exception
+    Resource,       ///< transport resource exhausted (shm segment, slot capacity)
     Internal,
 };
 

@@ -3,6 +3,9 @@
 
 #include "minimpi/window.hpp"
 
+#include <algorithm>
+#include <chrono>
+
 #include "minimpi/backoff.hpp"
 
 namespace minimpi {
@@ -16,34 +19,44 @@ constexpr std::size_t kSegmentAlign = 64;  // cache-line align each rank's segme
 
 std::atomic<LockPolicy> g_lock_policy{LockPolicy::Backoff};
 
-/// Acquires via the configured polling discipline: `try_acquire` is the
-/// lock-attempt message, `block` the OS fallback of LockPolicy::Block.
-/// Every epoch counts one hdls_window_locks_total; each failed poll is a
-/// hdls_window_lock_retries_total (invisible under Block — the OS owns
-/// the wait there).
-template <typename TryFn, typename BlockFn>
-void acquire_polled(TryFn&& try_acquire, BlockFn&& block) {
+/// How long one LockPolicy::Block slice may park in the OS before the
+/// acquire loop looks at the abort flag again.
+constexpr std::chrono::milliseconds kBlockSlice{50};
+
+/// Acquires an epoch on `storage` via the configured polling discipline.
+/// Every discipline — including Block, whose waits are bounded try-lock
+/// slices — polls the runtime abort flag between attempts, so a rank
+/// contending for a lock a failed peer still holds throws Aborted in
+/// bounded time instead of hanging. Every epoch counts one
+/// hdls_window_locks_total; each failed attempt (or expired Block slice)
+/// is a hdls_window_lock_retries_total.
+void acquire_polled(const detail::RuntimeState& state, detail::WindowStorage& storage,
+                    int target_rank, LockType type) {
     hdls::metrics::rt().window_locks->inc();
     switch (g_lock_policy.load(std::memory_order_relaxed)) {
         case LockPolicy::Block:
-            block();
+            while (!storage.try_lock_bounded(target_rank, type, kBlockSlice)) {
+                state.check_abort();
+                hdls::metrics::rt().window_lock_retries->inc();
+            }
             return;
         case LockPolicy::Spin:
-            while (!try_acquire()) {
+            while (!storage.try_lock(target_rank, type)) {
+                state.check_abort();
                 hdls::metrics::rt().window_lock_retries->inc();
                 std::this_thread::yield();
             }
             return;
         case LockPolicy::Backoff: {
             Backoff backoff;
-            while (!try_acquire()) {
+            while (!storage.try_lock(target_rank, type)) {
+                state.check_abort();
                 hdls::metrics::rt().window_lock_retries->inc();
                 backoff.pause();
             }
             return;
         }
     }
-    block();  // unreachable; keeps the compiler's control-flow check happy
 }
 }  // namespace
 
@@ -76,13 +89,16 @@ Window Window::allocate_shared(const Comm& comm, std::size_t local_bytes) {
         total += align_up(contributions[static_cast<std::size_t>(r)]);
     }
 
-    // Rank 0 creates and registers the backing store, then broadcasts the
-    // id; the bcast's happens-before edge guarantees peers find it.
+    // Rank 0 asks the transport for storage (backing bytes + lock table),
+    // registers the impl and broadcasts the id; the bcast's happens-before
+    // edge guarantees peers find it.
     std::uint64_t win_id = 0;
     if (comm.rank() == 0) {
         win_id = state->next_window_id.fetch_add(1, std::memory_order_relaxed);
+        auto storage =
+            state->transport->allocate_window(std::max<std::size_t>(total, 1), p);
         auto impl = std::make_shared<detail::WindowImpl>(win_id, *comm.meta_, offsets, sizes,
-                                                         std::max<std::size_t>(total, 1));
+                                                         std::move(storage));
         const std::lock_guard<std::mutex> lock(state->window_mutex);
         state->windows.emplace(win_id, std::move(impl));
     }
@@ -116,6 +132,15 @@ void Window::check_target(int target_rank) const {
     }
 }
 
+void Window::release_held() noexcept {
+    if (impl_) {
+        for (const auto& [target, type] : held_) {
+            impl_->storage().unlock(target, type);
+        }
+    }
+    held_.clear();
+}
+
 std::span<std::byte> Window::local_span() const {
     require_valid();
     return {impl_->segment(rank_), impl_->segment_size(rank_)};
@@ -130,16 +155,12 @@ std::pair<std::byte*, std::size_t> Window::shared_query(int target_rank) const {
 void Window::lock(LockType type, int target_rank) const {
     require_valid();
     check_target(target_rank);
+    comm_.state_->check_abort();
     if (held_.contains(target_rank)) {
         throw Error(ErrorCode::WindowUsage,
                     "minimpi: nested lock on the same window target (epochs may not overlap)");
     }
-    std::shared_mutex& mutex = impl_->lock_of(target_rank);
-    if (type == LockType::Exclusive) {
-        acquire_polled([&] { return mutex.try_lock(); }, [&] { mutex.lock(); });
-    } else {
-        acquire_polled([&] { return mutex.try_lock_shared(); }, [&] { mutex.lock_shared(); });
-    }
+    acquire_polled(*comm_.state_, impl_->storage(), target_rank, type);
     held_.emplace(target_rank, type);
 }
 
@@ -150,18 +171,25 @@ void Window::unlock(int target_rank) const {
     if (it == held_.end()) {
         throw Error(ErrorCode::WindowUsage, "minimpi: unlock without a matching lock");
     }
-    if (it->second == LockType::Exclusive) {
-        impl_->lock_of(target_rank).unlock();
-    } else {
-        impl_->lock_of(target_rank).unlock_shared();
-    }
+    impl_->storage().unlock(target_rank, it->second);
     held_.erase(it);
 }
 
 void Window::lock_all() const {
     require_valid();
-    for (int r = 0; r < size(); ++r) {
-        lock(LockType::Shared, r);
+    int locked = 0;
+    try {
+        for (; locked < size(); ++locked) {
+            lock(LockType::Shared, locked);
+        }
+    } catch (...) {
+        // All-or-nothing: roll back the epochs this call opened (ranks
+        // below `locked` were acquired by the loop itself — a pre-held
+        // epoch would have thrown before being counted).
+        for (int r = 0; r < locked; ++r) {
+            unlock(r);
+        }
+        throw;
     }
 }
 
@@ -195,14 +223,27 @@ void Window::free() {
     }
     const std::uint64_t id = impl_->id();
     detail::RuntimeState* state = comm_.state_;
-    comm_.barrier();  // all ranks must be done with the window
-    if (comm_.rank() == 0) {
+    const int my_rank = comm_.rank();
+    // Invalidate the handle before the closing barrier: whatever happens
+    // to a peer mid-free, this handle must not be left half-freed.
+    Comm comm = std::move(comm_);
+    comm_ = Comm();
+    impl_.reset();
+    rank_ = -1;
+    try {
+        comm.barrier();  // all ranks must be done with the window
+    } catch (...) {
+        // A peer failed mid-free. Drop the registry entry anyway (erase is
+        // idempotent, so every surviving rank may do this) — the registry
+        // must not leak the backing store just because the run aborted.
+        const std::lock_guard<std::mutex> lock(state->window_mutex);
+        state->windows.erase(id);
+        throw;
+    }
+    if (my_rank == 0) {
         const std::lock_guard<std::mutex> lock(state->window_mutex);
         state->windows.erase(id);
     }
-    impl_.reset();
-    comm_ = Comm();
-    rank_ = -1;
 }
 
 }  // namespace minimpi

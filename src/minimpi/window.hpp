@@ -16,18 +16,25 @@
 ///    locks — exactly the property the distributed chunk-calculation
 ///    protocol relies on.
 ///  * flush/sync order memory accesses (mapped to seq-cst fences here).
+///
+/// The backing store and the lock table live behind the transport seam
+/// (detail::WindowStorage): a heap buffer on the thread transport, the
+/// shm arena on the shm transport, both with per-rank epoch lock words
+/// (lock_word.hpp — releasable from any thread, because epochs belong to
+/// Window handles and a handle may be destroyed anywhere). Window itself
+/// only computes offsets and enforces epoch/abort semantics.
 
 #include <atomic>
 #include <cstring>
 #include <functional>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 
 #include "minimpi/backoff.hpp"
 #include "minimpi/comm.hpp"
+#include "minimpi/transport.hpp"
 
 namespace minimpi {
 
@@ -54,7 +61,9 @@ public:
     /// via compare-and-swap. Returns true when the update landed; on
     /// contention records the new observed value, backs off once and
     /// returns false. `f` may thus be evaluated several times and must be
-    /// side-effect free (the atomic_update contract).
+    /// side-effect free (the atomic_update contract). Throws
+    /// ErrorCode::Aborted if the runtime is unwinding — a pending request
+    /// never spins past a peer failure.
     bool test() {
         if (done_) {
             return true;
@@ -97,33 +106,29 @@ private:
 
 namespace detail {
 
-/// Backing store and lock table of one window; shared by every attached
-/// rank's Window handle.
+/// Layout + storage of one window; shared by every attached rank's Window
+/// handle. The storage (backing bytes and the passive-target lock table)
+/// is owned by the transport-specific WindowStorage.
 class WindowImpl {
 public:
     WindowImpl(std::uint64_t id, CommMeta meta, std::vector<std::size_t> offsets,
-               std::vector<std::size_t> sizes, std::size_t total_bytes)
+               std::vector<std::size_t> sizes, std::unique_ptr<WindowStorage> storage)
         : id_(id),
           meta_(std::move(meta)),
           offsets_(std::move(offsets)),
           sizes_(std::move(sizes)),
-          buffer_((total_bytes + sizeof(std::uint64_t) - 1) / sizeof(std::uint64_t) + 1, 0),
-          locks_(std::make_unique<std::shared_mutex[]>(meta_.members.size())) {}
+          storage_(std::move(storage)) {}
 
     [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
     [[nodiscard]] int size() const noexcept { return static_cast<int>(meta_.members.size()); }
-    [[nodiscard]] std::byte* base() noexcept {
-        return reinterpret_cast<std::byte*>(buffer_.data());
-    }
+    [[nodiscard]] std::byte* base() noexcept { return storage_->base(); }
     [[nodiscard]] std::byte* segment(int rank) noexcept {
         return base() + offsets_[static_cast<std::size_t>(rank)];
     }
     [[nodiscard]] std::size_t segment_size(int rank) const noexcept {
         return sizes_[static_cast<std::size_t>(rank)];
     }
-    [[nodiscard]] std::shared_mutex& lock_of(int rank) noexcept {
-        return locks_[static_cast<std::size_t>(rank)];
-    }
+    [[nodiscard]] WindowStorage& storage() noexcept { return *storage_; }
     [[nodiscard]] const CommMeta& meta() const noexcept { return meta_; }
 
 private:
@@ -131,26 +136,66 @@ private:
     CommMeta meta_;
     std::vector<std::size_t> offsets_;
     std::vector<std::size_t> sizes_;
-    std::vector<std::uint64_t> buffer_;  ///< 8-byte aligned backing store
-    std::unique_ptr<std::shared_mutex[]> locks_;
+    std::unique_ptr<WindowStorage> storage_;
 };
 
 }  // namespace detail
 
 /// RMA window handle (value type; copies refer to the same window).
+///
+/// Epoch ownership: open epochs belong to the *handle* that opened them,
+/// not to the window. A copy starts with no open epochs of its own; a move
+/// transfers them; destroying a handle releases whatever epochs it still
+/// holds (so a rank unwinding on an exception cannot leave a target locked
+/// forever — the peer-failure contract).
 class Window {
 public:
     Window() = default;
+    ~Window() { release_held(); }
+
+    Window(const Window& other) : impl_(other.impl_), comm_(other.comm_), rank_(other.rank_) {}
+    Window& operator=(const Window& other) {
+        if (this != &other) {
+            release_held();
+            impl_ = other.impl_;
+            comm_ = other.comm_;
+            rank_ = other.rank_;
+        }
+        return *this;
+    }
+    Window(Window&& other) noexcept
+        : impl_(std::move(other.impl_)),
+          comm_(std::move(other.comm_)),
+          rank_(other.rank_),
+          held_(std::move(other.held_)) {
+        other.held_.clear();
+        other.rank_ = -1;
+    }
+    Window& operator=(Window&& other) noexcept {
+        if (this != &other) {
+            release_held();
+            impl_ = std::move(other.impl_);
+            comm_ = std::move(other.comm_);
+            rank_ = other.rank_;
+            held_ = std::move(other.held_);
+            other.held_.clear();
+            other.rank_ = -1;
+        }
+        return *this;
+    }
 
     /// Collective over `comm`: allocates `local_bytes` for the calling rank
-    /// inside one contiguous shared region (segments are 64-byte aligned,
-    /// matching the `alloc_shared_noncontig` layout real MPIs use).
+    /// inside one contiguous shared region. Every rank's segment is 64-byte
+    /// aligned *absolutely* (the storage base is rounded up to 64 and
+    /// segments are padded to 64-byte multiples), on both transports —
+    /// matching the `alloc_shared_noncontig` layout real MPIs use, so
+    /// cache-line-padded cells laid out in a segment never straddle lines.
     [[nodiscard]] static Window allocate_shared(const Comm& comm, std::size_t local_bytes);
 
-    /// MPI_Win_allocate. Under the thread-backed runtime every window is
-    /// physically shared, so this is allocate_shared with the same
-    /// semantics for get/put/atomics; only direct load/store addressing of
-    /// remote segments is (by convention) reserved for shared windows.
+    /// MPI_Win_allocate. Under this runtime every window is physically
+    /// shared, so this is allocate_shared with the same semantics for
+    /// get/put/atomics; only direct load/store addressing of remote
+    /// segments is (by convention) reserved for shared windows.
     [[nodiscard]] static Window allocate(const Comm& comm, std::size_t local_bytes);
 
     [[nodiscard]] bool valid() const noexcept { return impl_ != nullptr; }
@@ -175,14 +220,19 @@ public:
 
     /// Opens an access epoch on `target_rank` (MPI_Win_lock). Exclusive
     /// epochs are mutually exclusive per target; Shared epochs admit
-    /// concurrent holders.
+    /// concurrent holders. Acquisition polls the runtime abort flag
+    /// between attempts (under every LockPolicy, including Block), so a
+    /// rank contending for an epoch a failed peer still holds unwinds
+    /// with ErrorCode::Aborted instead of hanging.
     void lock(LockType type, int target_rank) const;
 
     /// Closes the epoch opened by lock() (MPI_Win_unlock). Throws if no
     /// epoch is open on that target from this handle.
     void unlock(int target_rank) const;
 
-    /// Shared lock on every rank (MPI_Win_lock_all / unlock_all).
+    /// Shared lock on every rank (MPI_Win_lock_all / unlock_all). If any
+    /// acquisition throws, the epochs this call already opened are rolled
+    /// back before the exception propagates — lock_all is all-or-nothing.
     void lock_all() const;
     void unlock_all() const;
 
@@ -265,7 +315,9 @@ public:
     /// MPI_Compare_and_swap; `f` may be evaluated several times under
     /// contention and must be side-effect free. This is the primitive behind
     /// the adaptive queue's remaining-iterations cell, where the new value
-    /// depends on the old (new = old - chunk(old)).
+    /// depends on the old (new = old - chunk(old)). Each failed CAS polls
+    /// the runtime abort flag, so the retry loop observes a peer failure
+    /// in bounded time.
     template <Pod T, typename F>
     T atomic_update(int target_rank, std::size_t elem_offset, F&& f) const
         requires std::is_integral_v<T>
@@ -277,6 +329,7 @@ public:
             if (prev == old) {
                 return old;
             }
+            comm_.state_->check_abort();
             hdls::metrics::rt().window_cas_retries->inc();
             old = prev;
         }
@@ -288,8 +341,9 @@ public:
     /// overlap computation or other communication and complete the update
     /// later via the handle's test()/wait(); contended completions retry
     /// one CAS per test() under the same Backoff ladder as a blocked
-    /// Window::lock. The returned handle keeps the window alive; `f` must
-    /// be side-effect free (it may run once per completion attempt).
+    /// Window::lock, and every attempt observes the runtime abort flag.
+    /// The returned handle keeps the window alive; `f` must be side-effect
+    /// free (it may run once per completion attempt).
     template <Pod T, typename F>
     [[nodiscard]] AtomicUpdateRequest<T> start_atomic_update(int target_rank,
                                                              std::size_t elem_offset,
@@ -302,6 +356,7 @@ public:
         return AtomicUpdateRequest<T>(
             [win = *this, target_rank, elem_offset, f = std::move(f),
              observed = std::optional<T>{}]() mutable -> std::optional<T> {
+                win.comm_.state_->check_abort();
                 if (!observed) {
                     observed = win.template atomic_read<T>(target_rank, elem_offset);
                 }
@@ -338,13 +393,15 @@ public:
 
     // ------------------------------------------------------ completion ----
 
-    /// Orders RMA accesses (MPI_Win_flush / MPI_Win_sync). Thread-backed
+    /// Orders RMA accesses (MPI_Win_flush / MPI_Win_sync). In-process
     /// windows need only a memory fence.
     void flush(int target_rank) const;
     void flush_all() const;
     void sync() const;
 
-    /// Collective teardown (MPI_Win_free). The handle becomes invalid.
+    /// Collective teardown (MPI_Win_free). The handle becomes invalid even
+    /// if the closing barrier throws (a peer failed mid-free); the window
+    /// registry entry is dropped either way — no leak on abort.
     void free();
 
 private:
@@ -353,6 +410,7 @@ private:
 
     void require_valid() const;
     void check_target(int target_rank) const;
+    void release_held() noexcept;
 
     template <Pod T>
     [[nodiscard]] T* checked_address(int target_rank, std::size_t elem_offset,

@@ -521,6 +521,19 @@ TEST(EnvConfigTest, InterBackendEnvThrowsOnUnknownValues) {
     EXPECT_EQ(inter_backend_from_env(), hdls::dls::InterBackend::Centralized);
 }
 
+TEST(EnvConfigTest, TransportEnvThrowsOnUnknownValues) {
+    ::setenv("HDLS_TRANSPORT", "shm", 1);
+    EXPECT_EQ(transport_from_env(), minimpi::TransportKind::Shm);
+    ::setenv("HDLS_TRANSPORT", "Threads", 1);
+    EXPECT_EQ(transport_from_env(), minimpi::TransportKind::Threads);
+    ::setenv("HDLS_TRANSPORT", "openmpi", 1);
+    EXPECT_THROW((void)transport_from_env(), std::invalid_argument);
+    ::unsetenv("HDLS_TRANSPORT");
+    EXPECT_EQ(transport_from_env(), minimpi::TransportKind::Threads);
+    EXPECT_EQ(hdls::core::transport_from_env(minimpi::TransportKind::Shm),
+              minimpi::TransportKind::Shm);
+}
+
 TEST(EnvConfigTest, MetricsEnvThrowsOnNonBooleanValues) {
     ::setenv("HDLS_METRICS", "1", 1);
     EXPECT_TRUE(metrics_from_env());
