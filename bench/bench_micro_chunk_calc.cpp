@@ -2,12 +2,19 @@
 /// google-benchmark micro-measurements of the chunk calculators: the
 /// step-indexed closed forms (the per-scheduling-step cost every worker
 /// pays under the distributed protocol) and the stateful master-side
-/// generators.
+/// generators — plus the chunk *bodies* themselves (section=
+/// kernel_throughput): the mandelbrot escape loop per SIMD backend, so the
+/// scalar-vs-vector pixel rate is tracked by the same harness that tracks
+/// the scheduling overhead it must amortize.
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "apps/mandelbrot.hpp"
 #include "dls/chunk_formulas.hpp"
 #include "dls/scheduler.hpp"
+#include "simd/dispatch.hpp"
 
 namespace {
 
@@ -71,6 +78,44 @@ BENCHMARK(BM_StatefulSchedulerDrain)
     ->Arg(static_cast<int>(Technique::TFSS))
     ->Arg(static_cast<int>(Technique::AWFC))
     ->Unit(benchmark::kMicrosecond);
+
+/// Pixels/s of the mandelbrot batch kernel per compiled-in backend. Skips
+/// backends the executing CPU cannot run. items_processed = pixels, so the
+/// reported items/s IS the pixel throughput; the label carries
+/// section=kernel_throughput for the perf-smoke JSON parser.
+void BM_MandelbrotKernel(benchmark::State& state) {
+    const auto backend = static_cast<hdls::simd::Backend>(state.range(0));
+    if (!hdls::simd::backend_usable(backend)) {
+        // 1.7.x has no SkipWithMessage; run one no-op iteration so the row
+        // reports ~0 items/s instead of failing the whole binary.
+        for (auto _ : state) {
+        }
+        state.SetLabel("section=kernel_throughput backend=" +
+                       std::string(hdls::simd::backend_name(backend)) + " skipped=1");
+        return;
+    }
+    const auto& kernels = hdls::simd::kernels_for(backend);
+    hdls::apps::MandelbrotConfig cfg;
+    cfg.width = 256;
+    cfg.height = 256;
+    cfg.max_iter = 256;
+    const hdls::simd::MandelbrotGeom geom = hdls::apps::mandelbrot_geometry(cfg);
+    std::vector<int> out(static_cast<std::size_t>(cfg.pixels()));
+    for (auto _ : state) {
+        kernels.mandelbrot(geom, 0, cfg.pixels(), out.data());
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetLabel("section=kernel_throughput backend=" +
+                   std::string(hdls::simd::backend_name(backend)) +
+                   " width=" + std::to_string(kernels.width));
+    state.SetItemsProcessed(state.iterations() * cfg.pixels());
+}
+BENCHMARK(BM_MandelbrotKernel)
+    ->Arg(static_cast<int>(hdls::simd::Backend::Scalar))
+    ->Arg(static_cast<int>(hdls::simd::Backend::Avx2))
+    ->Arg(static_cast<int>(hdls::simd::Backend::Neon))
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -24,14 +24,11 @@
 
 namespace {
 
-/// Busy-spins for `seconds` (sleep granularity is too coarse for the
-/// sub-millisecond iterations that drive lock contention).
-void burn(double seconds) {
-    const auto t0 = std::chrono::steady_clock::now();
-    while (std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count() <
-           seconds) {
-    }
-}
+/// Burns `seconds` of calibrated multiply-add work through the SIMD burner
+/// (sleep granularity is too coarse for the sub-millisecond iterations that
+/// drive lock contention, and a clock-polling spin exercises none of the
+/// execution ports the real kernels contend on).
+void burn(double seconds) { hdls::apps::burn_seconds(seconds); }
 
 }  // namespace
 

@@ -2,33 +2,34 @@
 
 #include <algorithm>
 
+#include "simd/dispatch.hpp"
 #include "util/rng.hpp"
 
 namespace hdls::apps {
 
+simd::MandelbrotGeom mandelbrot_geometry(const MandelbrotConfig& cfg) noexcept {
+    simd::MandelbrotGeom g;
+    g.re_min = cfg.re_min;
+    g.im_min = cfg.im_min;
+    g.dx = (cfg.re_max - cfg.re_min) / cfg.width;
+    g.dy = (cfg.im_max - cfg.im_min) / cfg.height;
+    g.width = cfg.width;
+    g.max_iter = cfg.max_iter;
+    return g;
+}
+
 int mandelbrot_iterations(const MandelbrotConfig& cfg, int x, int y) noexcept {
-    const double dx = (cfg.re_max - cfg.re_min) / cfg.width;
-    const double dy = (cfg.im_max - cfg.im_min) / cfg.height;
-    const double cr = cfg.re_min + (x + 0.5) * dx;
-    const double ci = cfg.im_min + (y + 0.5) * dy;
-    // Cardioid / period-2 bulb shortcut keeps interior pixels cheap to
-    // *classify* in tests while the plain loop below is what the examples
-    // actually measure; we intentionally do NOT shortcut here because the
+    // Cardioid / period-2 bulb shortcut would keep interior pixels cheap to
+    // *classify* in tests; we intentionally do NOT shortcut because the
     // expensive interior pixels are the imbalance the paper relies on.
-    double zr = 0.0;
-    double zi = 0.0;
-    int it = 0;
-    while (it < cfg.max_iter) {
-        const double zr2 = zr * zr;
-        const double zi2 = zi * zi;
-        if (zr2 + zi2 > 4.0) {
-            break;
-        }
-        zi = 2.0 * zr * zi + ci;
-        zr = zr2 - zi2 + cr;
-        ++it;
-    }
-    return it;
+    // The escape loop lives in simd/batch_kernels.hpp now; scalar_vec<1>
+    // executes the identical operation sequence this function historically
+    // inlined, so per-pixel results are unchanged bit-for-bit.
+    const simd::MandelbrotGeom g = mandelbrot_geometry(cfg);
+    int out = 0;
+    simd::kernels::mandelbrot_block<simd::scalar_vec<1>>(
+        g, static_cast<std::int64_t>(y) * cfg.width + x, &out);
+    return out;
 }
 
 int mandelbrot_iterations(const MandelbrotConfig& cfg, std::int64_t pixel) noexcept {
@@ -37,31 +38,72 @@ int mandelbrot_iterations(const MandelbrotConfig& cfg, std::int64_t pixel) noexc
     return mandelbrot_iterations(cfg, x, y);
 }
 
-namespace {
-constexpr int kUncomputed = -1;
+void mandelbrot_iterations_batch(const MandelbrotConfig& cfg, std::int64_t first_pixel,
+                                 std::int64_t count, int* out) noexcept {
+    simd::run_mandelbrot_batch(mandelbrot_geometry(cfg), first_pixel, count, out);
 }
 
+namespace {
+constexpr int kUncomputed = -1;
+
+/// Per-call scratch block: big enough to amortize dispatch, small enough
+/// to stay in L1 alongside the image cells it feeds.
+constexpr std::int64_t kPixelBlock = 512;
+}  // namespace
+
 MandelbrotImage::MandelbrotImage(const MandelbrotConfig& cfg)
-    : cfg_(cfg), data_(static_cast<std::size_t>(cfg.pixels()), kUncomputed) {}
+    : cfg_(cfg),
+      data_(std::make_unique<int[]>(static_cast<std::size_t>(cfg.pixels()))) {
+    std::fill_n(data_.get(), cfg.pixels(), kUncomputed);
+}
+
+MandelbrotImage::MandelbrotImage(const MandelbrotConfig& cfg, DeferInit)
+    : cfg_(cfg),
+      data_(std::make_unique_for_overwrite<int[]>(
+          static_cast<std::size_t>(cfg.pixels()))) {}
+
+void MandelbrotImage::init_range(std::int64_t begin, std::int64_t end) noexcept {
+    std::fill(data_.get() + begin, data_.get() + end, kUncomputed);
+}
 
 void MandelbrotImage::compute_pixel(std::int64_t pixel) noexcept {
-    data_[static_cast<std::size_t>(pixel)] = mandelbrot_iterations(cfg_, pixel);
+    const int v = mandelbrot_iterations(cfg_, pixel);
+    int& cell = data_[static_cast<std::size_t>(pixel)];
+    if (cell == kUncomputed) {
+        computed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    cell = v;
 }
 
 void MandelbrotImage::compute_range(std::int64_t begin, std::int64_t end) noexcept {
-    for (std::int64_t i = begin; i < end; ++i) {
-        compute_pixel(i);
+    const simd::MandelbrotGeom g = mandelbrot_geometry(cfg_);
+    int block[kPixelBlock];
+    for (std::int64_t at = begin; at < end; at += kPixelBlock) {
+        const std::int64_t n = std::min(kPixelBlock, end - at);
+        simd::run_mandelbrot_batch(g, at, n, block);
+        std::int64_t newly = 0;
+        for (std::int64_t l = 0; l < n; ++l) {
+            int& cell = data_[static_cast<std::size_t>(at + l)];
+            if (cell == kUncomputed) {
+                ++newly;
+            }
+            cell = block[l];
+        }
+        if (newly > 0) {
+            computed_.fetch_add(newly, std::memory_order_relaxed);
+        }
     }
 }
 
 std::int64_t MandelbrotImage::uncomputed() const noexcept {
-    return std::count(data_.begin(), data_.end(), kUncomputed);
+    return cfg_.pixels() - computed_.load(std::memory_order_relaxed);
 }
 
 std::uint64_t MandelbrotImage::checksum() const noexcept {
     // Position-sensitive but order-independent: hash(i, v_i) XOR-folded.
     std::uint64_t h = 0;
-    for (std::size_t i = 0; i < data_.size(); ++i) {
+    const std::size_t n = static_cast<std::size_t>(cfg_.pixels());
+    for (std::size_t i = 0; i < n; ++i) {
         h ^= util::mix64((static_cast<std::uint64_t>(i) << 20) ^
                          static_cast<std::uint64_t>(static_cast<std::int64_t>(data_[i]) + 1));
     }
@@ -82,11 +124,14 @@ void MandelbrotImage::write_ppm(std::ostream& os) const {
 
 std::vector<double> mandelbrot_cost_trace(const MandelbrotConfig& cfg,
                                           double seconds_per_iteration) {
-    std::vector<double> costs(static_cast<std::size_t>(cfg.pixels()));
-    for (std::int64_t i = 0; i < cfg.pixels(); ++i) {
+    const std::int64_t n = cfg.pixels();
+    std::vector<int> iters(static_cast<std::size_t>(n));
+    simd::run_mandelbrot_batch(mandelbrot_geometry(cfg), 0, n, iters.data());
+    std::vector<double> costs(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
         // +1: even an instantly-escaping pixel costs one loop-setup unit.
         costs[static_cast<std::size_t>(i)] =
-            seconds_per_iteration * (mandelbrot_iterations(cfg, i) + 1);
+            seconds_per_iteration * (iters[static_cast<std::size_t>(i)] + 1);
     }
     return costs;
 }

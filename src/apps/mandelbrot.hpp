@@ -10,11 +10,22 @@
 ///   1. real compute kernel for the thread-backed examples/tests,
 ///   2. per-pixel iteration counts -> virtual-cost trace for the simulator,
 ///   3. image output so scheduling correctness is verifiable bit-for-bit.
+///
+/// The escape loop itself runs through the SIMD batch kernels (src/simd/):
+/// compute_range and the cost trace dispatch whole pixel ranges to the
+/// active backend (scalar / AVX2 / NEON — HDLS_SIMD), with the viewport
+/// geometry hoisted once per chunk instead of recomputed per pixel. Every
+/// backend produces bit-identical iteration counts, so checksums are
+/// backend-invariant.
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <ostream>
 #include <span>
 #include <vector>
+
+#include "simd/batch_kernels.hpp"
 
 namespace hdls::apps {
 
@@ -33,6 +44,10 @@ struct MandelbrotConfig {
     }
 };
 
+/// The chunk-invariant geometry of a config: dx/dy and the viewport
+/// origin, computed once per config/chunk instead of once per pixel.
+[[nodiscard]] simd::MandelbrotGeom mandelbrot_geometry(const MandelbrotConfig& cfg) noexcept;
+
 /// Escape-time iterations of pixel (x, y): the number of z <- z^2 + c steps
 /// until |z| > 2, capped at max_iter (pixel centers are sampled).
 [[nodiscard]] int mandelbrot_iterations(const MandelbrotConfig& cfg, int x, int y) noexcept;
@@ -41,21 +56,43 @@ struct MandelbrotConfig {
 /// space the schedulers partition.
 [[nodiscard]] int mandelbrot_iterations(const MandelbrotConfig& cfg, std::int64_t pixel) noexcept;
 
+/// Batch form: escape iterations of pixels [first_pixel, first_pixel +
+/// count) written to out[0..count), N lanes at a time through the active
+/// SIMD backend. Bit-identical to count calls of mandelbrot_iterations.
+void mandelbrot_iterations_batch(const MandelbrotConfig& cfg, std::int64_t first_pixel,
+                                 std::int64_t count, int* out) noexcept;
+
 /// Render target accumulating per-pixel iteration counts.
 class MandelbrotImage {
 public:
     explicit MandelbrotImage(const MandelbrotConfig& cfg);
 
+    /// Deferred-initialization constructor: pixel storage is allocated but
+    /// NOT initialized, so the caller can first-touch it from the threads
+    /// that will compute it (pages land on the touching thread's NUMA
+    /// node — see ompsim::first_touch_fill). Every pixel must be covered
+    /// by init_range calls before anything else touches the image.
+    struct DeferInit {};
+    MandelbrotImage(const MandelbrotConfig& cfg, DeferInit);
+
+    /// First-touch initialization of [begin, end) to the "uncomputed"
+    /// sentinel (thread-safe for disjoint ranges).
+    void init_range(std::int64_t begin, std::int64_t end) noexcept;
+
     /// Computes one pixel (thread-safe for distinct pixels).
     void compute_pixel(std::int64_t pixel) noexcept;
 
-    /// Computes [begin, end) — the natural chunk body.
+    /// Computes [begin, end) — the natural chunk body — through the SIMD
+    /// batch kernel, geometry hoisted once per call.
     void compute_range(std::int64_t begin, std::int64_t end) noexcept;
 
     [[nodiscard]] const MandelbrotConfig& config() const noexcept { return cfg_; }
-    [[nodiscard]] std::span<const int> data() const noexcept { return data_; }
+    [[nodiscard]] std::span<const int> data() const noexcept {
+        return {data_.get(), static_cast<std::size_t>(cfg_.pixels())};
+    }
 
     /// Number of pixels whose value is still the "uncomputed" sentinel.
+    /// O(1): maintained as a computed-pixel count, not a full scan.
     [[nodiscard]] std::int64_t uncomputed() const noexcept;
 
     /// Order-independent content hash (verifies scheduler correctness).
@@ -66,7 +103,10 @@ public:
 
 private:
     MandelbrotConfig cfg_;
-    std::vector<int> data_;
+    std::unique_ptr<int[]> data_;
+    /// Pixels whose sentinel has been overwritten (relaxed: the count is
+    /// only totalled after the loop's join, never used for synchronization).
+    std::atomic<std::int64_t> computed_{0};
 };
 
 /// Virtual-cost trace for the simulator: cost of loop iteration i =

@@ -5,6 +5,7 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "simd/dispatch.hpp"
 #include "util/rng.hpp"
 
 namespace hdls::apps {
@@ -162,20 +163,49 @@ std::size_t support_count(const PointCloud& cloud, std::size_t center,
 
 SpinImage compute_spin_image(const PointCloud& cloud, std::size_t center,
                              const PsiaConfig& cfg) {
+    return compute_spin_image(cloud, center, cfg, /*use_prefetch=*/true);
+}
+
+SpinImage compute_spin_image(const PointCloud& cloud, std::size_t center,
+                             const PsiaConfig& cfg, bool use_prefetch) {
     if (center >= cloud.size()) {
         throw std::out_of_range("compute_spin_image: center index");
     }
     SpinImage img(cfg.image_width, cfg.image_height);
     const OrientedPoint& c = cloud[center];
-    for (std::size_t i = 0; i < cloud.size(); ++i) {
-        const OrientedPoint& x = cloud[i];
-        if (!in_support(c, x, cfg)) {
-            continue;
+
+    // The kernels index the cloud as a flat double[6] AoS stream.
+    static_assert(sizeof(OrientedPoint) == simd::kSpinPointStride * sizeof(double),
+                  "OrientedPoint must stay {position, normal} with no padding");
+    static_assert(sizeof(Vec3) == 3 * sizeof(double), "Vec3 must stay 3 packed doubles");
+    const auto* aos = reinterpret_cast<const double*>(cloud.points().data());
+
+    simd::SpinFilter filter;
+    filter.cx = c.position.x;
+    filter.cy = c.position.y;
+    filter.cz = c.position.z;
+    filter.nx = c.normal.x;
+    filter.ny = c.normal.y;
+    filter.nz = c.normal.z;
+    filter.cos_min = cfg.support_angle_cos;
+    filter.beta_max = cfg.beta_max();
+    const double amax = cfg.alpha_max();
+    filter.alpha2_max = amax * amax;
+
+    // Survivors of each block come back densely packed in candidate order,
+    // so the float accumulation below deposits in exactly the order the
+    // scalar reference loop would — bit-identical bins on every backend.
+    constexpr std::int64_t kBlock = 512;
+    double out_alpha[kBlock];
+    double out_beta[kBlock];
+    const auto total = static_cast<std::int64_t>(cloud.size());
+    for (std::int64_t at = 0; at < total; at += kBlock) {
+        const std::int64_t n = std::min(kBlock, total - at);
+        const std::int64_t written = simd::run_spin_support_batch(
+            aos, at, n, filter, use_prefetch, out_alpha, out_beta);
+        for (std::int64_t k = 0; k < written; ++k) {
+            img.accumulate(out_alpha[k], out_beta[k], cfg);
         }
-        const Vec3 d = x.position - c.position;
-        const double beta = c.normal.dot(d);
-        const double alpha = std::sqrt(std::max(d.norm2() - beta * beta, 0.0));
-        img.accumulate(alpha, beta, cfg);
     }
     return img;
 }

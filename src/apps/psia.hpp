@@ -110,9 +110,19 @@ private:
 [[nodiscard]] std::size_t support_count(const PointCloud& cloud, std::size_t center,
                                         const PsiaConfig& cfg) noexcept;
 
-/// The PSIA loop body: the spin image of oriented point `center`.
+/// The PSIA loop body: the spin image of oriented point `center`. The
+/// candidate filter (angle + cylinder tests) runs through the SIMD batch
+/// kernels (src/simd/), N candidates per step, with the point-cloud gather
+/// software-prefetched ahead of use (util/prefetch.hpp); survivors are
+/// binned in candidate order, so results are bit-identical to the scalar
+/// reference loop on every backend.
 [[nodiscard]] SpinImage compute_spin_image(const PointCloud& cloud, std::size_t center,
                                            const PsiaConfig& cfg);
+
+/// Same, with the intra-chunk software prefetch explicitly on or off (the
+/// three-argument overload uses the HDLS_PREFETCH-style default: on).
+[[nodiscard]] SpinImage compute_spin_image(const PointCloud& cloud, std::size_t center,
+                                           const PsiaConfig& cfg, bool use_prefetch);
 
 /// Uniform spatial hash grid for O(1) neighbourhood-size estimates; used to
 /// derive the simulator cost trace in O(N) instead of O(N^2).

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 #include <string>
 
+#include "simd/dispatch.hpp"
 #include "util/rng.hpp"
 
 namespace hdls::apps {
@@ -71,6 +73,37 @@ std::vector<double> make_workload(const WorkloadSpec& spec) {
             break;
     }
     return costs;
+}
+
+double burner_rounds_per_second() {
+    // One calibration per (thread, backend): threads pinned to different
+    // cores (or forced to different backends) each get their own honest
+    // rate, which is exactly the heterogeneity the AWF feedback loop sees.
+    thread_local double rate[3] = {0.0, 0.0, 0.0};
+    const auto idx = static_cast<std::size_t>(simd::active_backend());
+    if (rate[idx] > 0.0) {
+        return rate[idx];
+    }
+    std::int64_t rounds = 1 << 14;
+    for (;;) {
+        const auto t0 = std::chrono::steady_clock::now();
+        simd::run_burn(rounds);
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        if (elapsed >= 1e-3) {
+            rate[idx] = static_cast<double>(rounds) / elapsed;
+            return rate[idx];
+        }
+        rounds *= 2;
+    }
+}
+
+double burn_seconds(double seconds) noexcept {
+    if (seconds <= 0.0) {
+        return 0.0;
+    }
+    const double rounds = seconds * burner_rounds_per_second();
+    return simd::run_burn(std::max<std::int64_t>(static_cast<std::int64_t>(rounds), 1));
 }
 
 std::string_view workload_name(WorkloadKind k) noexcept {

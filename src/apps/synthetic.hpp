@@ -42,4 +42,16 @@ struct WorkloadSpec {
 [[nodiscard]] std::string_view workload_name(WorkloadKind k) noexcept;
 [[nodiscard]] std::optional<WorkloadKind> workload_from_string(std::string_view name) noexcept;
 
+/// Measured throughput (rounds/second) of the SIMD multiply-add burner on
+/// the calling thread's active backend, calibrated once and cached per
+/// (backend, pinned CPU). This is what converts a virtual cost in seconds
+/// into a concrete round count for burn_seconds.
+[[nodiscard]] double burner_rounds_per_second();
+
+/// Burns approximately `seconds` of CPU executing dependent multiply-add
+/// rounds through the active SIMD backend — real vectorizable FLOPs, not a
+/// clock-polling spin — so timed runs exercise the same execution ports the
+/// real kernels do. Returns the folded lane sum (keeps the work alive).
+double burn_seconds(double seconds) noexcept;
+
 }  // namespace hdls::apps

@@ -304,6 +304,42 @@ minimpi::TransportKind transport_from_env(minimpi::TransportKind fallback) {
     return minimpi::transport_from_env(fallback);
 }
 
+simd::SimdMode simd_mode_from_env(simd::SimdMode fallback) {
+    const char* value = std::getenv("HDLS_SIMD");
+    if (value == nullptr) {
+        return fallback;
+    }
+    const std::string s = normalized(value);
+    if (s == "AUTO") {
+        return simd::SimdMode::Auto;
+    }
+    if (s == "SCALAR") {
+        return simd::SimdMode::ForceScalar;
+    }
+    if (s == "NATIVE") {
+        return simd::SimdMode::Native;
+    }
+    throw std::invalid_argument(std::string("HDLS_SIMD='") + value +
+                                "' is not a SIMD policy (expected 'auto', 'scalar' or "
+                                "'native')");
+}
+
+minimpi::PinPolicy pin_from_env(minimpi::PinPolicy fallback) {
+    const char* value = std::getenv("HDLS_PIN");
+    if (value == nullptr) {
+        return fallback;
+    }
+    std::string s = stripped(value);
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    if (const auto p = minimpi::pin_policy_from_string(s)) {
+        return *p;
+    }
+    throw std::invalid_argument(std::string("HDLS_PIN='") + value +
+                                "' is not a pin policy (expected 'none', 'compact' or "
+                                "'scatter')");
+}
+
 std::string metrics_file_from_env(std::string fallback) {
     const char* value = std::getenv("HDLS_METRICS_FILE");
     if (value == nullptr) {

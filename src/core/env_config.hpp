@@ -29,15 +29,19 @@
 ///                           "hdls-metrics.prom")
 ///     HDLS_TRANSPORT      — "threads" | "shm" minimpi substrate of MPI+MPI
 ///                           runs (thread mailboxes vs one POSIX shm segment)
+///     HDLS_SIMD           — "auto" | "scalar" | "native" SIMD backend
+///                           policy for the batch kernels (src/simd/)
+///     HDLS_PIN            — "none" | "compact" | "scatter" thread/rank
+///                           placement over the host's sockets
 ///
 /// Malformed HDLS_SCHEDULE / HDLS_APPROACH / HDLS_TRACE fall back with a
 /// warning (mirroring how OpenMP runtimes treat bad OMP_SCHEDULE values);
 /// malformed HDLS_TOPOLOGY / HDLS_INTER_BACKEND / HDLS_PREFETCH /
-/// HDLS_METRICS / HDLS_METRICS_PERIOD_MS / HDLS_TRANSPORT *throw* a
-/// one-line std::invalid_argument instead — a mis-shaped machine tree, an
-/// unknown backend or a typo'd toggle silently reverting to defaults would
-/// change what the run measures (or silently disable the observability the
-/// user asked for).
+/// HDLS_METRICS / HDLS_METRICS_PERIOD_MS / HDLS_TRANSPORT / HDLS_SIMD /
+/// HDLS_PIN *throw* a one-line std::invalid_argument instead — a mis-shaped
+/// machine tree, an unknown backend or a typo'd toggle silently reverting
+/// to defaults would change what the run measures (or silently disable the
+/// observability the user asked for).
 
 #include <chrono>
 #include <optional>
@@ -127,5 +131,21 @@ namespace hdls::core {
 /// knob is documented with its HDLS_* siblings.
 [[nodiscard]] minimpi::TransportKind transport_from_env(
     minimpi::TransportKind fallback = minimpi::TransportKind::Threads);
+
+/// Reads HDLS_SIMD ("auto" | "scalar" | "native", case-insensitive): the
+/// SIMD backend policy of the batch kernels. Returns `fallback` when unset;
+/// throws std::invalid_argument when set to anything else (no silent
+/// fallback — a typo'd "avx" silently measuring scalar would invalidate
+/// every throughput number the run produces).
+[[nodiscard]] simd::SimdMode simd_mode_from_env(
+    simd::SimdMode fallback = simd::SimdMode::Auto);
+
+/// Reads HDLS_PIN ("none" | "compact" | "scatter", case-insensitive): the
+/// placement of leaf workers over the host's sockets. Returns `fallback`
+/// when unset; throws std::invalid_argument when set to anything else (no
+/// silent fallback — a typo'd pin policy silently running unpinned would
+/// change what a NUMA experiment measures).
+[[nodiscard]] minimpi::PinPolicy pin_from_env(
+    minimpi::PinPolicy fallback = minimpi::PinPolicy::None);
 
 }  // namespace hdls::core

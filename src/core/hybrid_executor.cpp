@@ -72,7 +72,13 @@ std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx, int threads_per_
     // exactly what a leaf ComposedWorkSource records under MPI+MPI.
     const int pull_level = hier.top_composed() != nullptr ? hier.top_composed()->level() : 0;
     const bool feedback = chain.wants_feedback();
-    ompsim::ThreadTeam team(threads_per_node);
+    // Leaf placement: this rank's team occupies worker slots
+    // [rank*T, rank*T + T) of the host-wide plan, so co-located ranks
+    // interleave over the sockets instead of stacking onto core 0.
+    ompsim::ThreadTeam::Placement placement;
+    placement.policy = cfg.pin.value_or(minimpi::PinPolicy::None);
+    placement.first_worker = ctx.rank() * threads_per_node;
+    ompsim::ThreadTeam team(threads_per_node, placement);
 
     const metrics::RuntimeMetrics& m = metrics::rt();
     // At depth 2 the chain is the bare root backend, so nothing below has

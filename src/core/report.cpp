@@ -57,6 +57,11 @@ void ExecutionReport::print(std::ostream& os) const {
     if (transport != minimpi::TransportKind::Threads) {
         os << " {" << minimpi::transport_name(transport) << "}";
     }
+    os << " simd=" << simd::backend_name(simd_backend);
+    if (simd_mode != simd::SimdMode::Auto) {
+        os << "(" << simd::mode_name(simd_mode) << ")";
+    }
+    os << " pin=" << minimpi::pin_policy_name(pin);
     os << "  nodes=" << shape.nodes
        << " workers/node=" << shape.workers_per_node << " N=" << total_iterations << "\n";
     if (topology.size() > 2) {

@@ -39,6 +39,12 @@ struct ExecutionReport {
     minimpi::TransportKind transport = minimpi::TransportKind::Threads;
     /// Whether asynchronous chunk prefetching was enabled for the run.
     bool prefetch = false;
+    /// The SIMD policy the run requested (HDLS_SIMD / HierConfig::simd)
+    /// and the backend it resolved to on this host.
+    simd::SimdMode simd_mode = simd::SimdMode::Auto;
+    simd::Backend simd_backend = simd::Backend::Scalar;
+    /// Thread/rank placement policy (HDLS_PIN / HierConfig::pin).
+    minimpi::PinPolicy pin = minimpi::PinPolicy::None;
     /// The machine tree the run scheduled over (outermost level first) and
     /// the effective per-level plan — what resolve_hierarchy produced,
     /// sharded fallbacks already applied.

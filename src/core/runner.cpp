@@ -90,6 +90,29 @@ void validate_resolved(Approach approach, const HierConfig& cfg, const ResolvedH
     return rh;
 }
 
+/// The honesty loop: per-node WF weights measured on the CPUs the workers
+/// will actually occupy. The caller thread is pinned to each planned CPU
+/// in turn, the active backend's mandelbrot throughput is probed there
+/// (cached per (backend, cpu) — see simd::probe_mandelbrot_rate), and the
+/// per-CPU rates are summed per level-0 group. Only ratios matter to WF,
+/// so the raw pixel/s sums are returned as-is.
+[[nodiscard]] std::vector<double> probed_node_weights(const ClusterShape& shape,
+                                                      int level0_groups,
+                                                      minimpi::PinPolicy pin) {
+    const minimpi::HostTopology host = minimpi::HostTopology::detect();
+    const std::vector<int> plan = host.plan(pin, 0, shape.total_workers());
+    const std::vector<int> saved = minimpi::current_thread_affinity();
+    const int group_size = shape.total_workers() / std::max(level0_groups, 1);
+    std::vector<double> weights(static_cast<std::size_t>(level0_groups), 0.0);
+    for (int w = 0; w < shape.total_workers(); ++w) {
+        minimpi::pin_current_thread(plan[static_cast<std::size_t>(w)]);
+        weights[static_cast<std::size_t>(w / std::max(group_size, 1))] +=
+            simd::probe_mandelbrot_rate(simd::active_backend());
+    }
+    minimpi::set_current_thread_affinity(saved);
+    return weights;
+}
+
 }  // namespace
 
 void validate_combination(const ClusterShape& shape, Approach approach, const HierConfig& cfg) {
@@ -111,6 +134,36 @@ ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
     const minimpi::TransportKind transport =
         cfg.transport ? *cfg.transport : transport_from_env();
 
+    // SIMD backend policy and thread placement, same precedence. set_mode
+    // throws here (before any thread launches) when Native is demanded on
+    // a scalar-only host.
+    const simd::SimdMode simd_mode = cfg.simd ? *cfg.simd : simd_mode_from_env();
+    simd::set_mode(simd_mode);
+    const minimpi::PinPolicy pin = cfg.pin ? *cfg.pin : pin_from_env();
+
+    // Executors see the resolved knobs (and, below, any probed weights).
+    HierConfig effective = cfg;
+    effective.simd = simd_mode;
+    effective.pin = pin;
+    // A pinned WF run with no explicit weights gets measured ones: pinning
+    // fixes which CPU each worker occupies, so per-CPU throughput probes
+    // are meaningful per-node speeds. Unpinned runs keep WF's equal-weights
+    // default (every probe would measure the same roaming thread).
+    if (pin != minimpi::PinPolicy::None && cfg.node_weights.empty() &&
+        rh.levels.front().technique == dls::Technique::WF) {
+        effective.node_weights =
+            probed_node_weights(shape, rh.tree.front().fan_out, pin);
+    }
+
+    // Rank placement of MPI+MPI runs: one CPU per rank from the same plan
+    // a leaf ThreadTeam would use (ranks are threads or forked processes
+    // depending on the transport; pinning works for both).
+    std::vector<int> rank_pin_plan;
+    if (pin != minimpi::PinPolicy::None && approach == Approach::MpiMpi) {
+        rank_pin_plan =
+            minimpi::HostTopology::detect().plan(pin, 0, shape.total_workers());
+    }
+
     ExecutionReport report;
     report.approach = approach;
     report.shape = shape;
@@ -123,6 +176,9 @@ ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
     // (no composed source to buffer in), so the knob is a no-op there.
     report.prefetch =
         cfg.prefetch && (approach == Approach::MpiMpi || rh.depth() > 2);
+    report.simd_mode = simd_mode;
+    report.simd_backend = simd::active_backend();
+    report.pin = pin;
     report.topology = rh.tree;
     report.levels = rh.levels;
     report.total_iterations = n;
@@ -172,9 +228,14 @@ ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
             const minimpi::Topology topo = rh.topology();
             minimpi::Runtime::run(shape.total_workers(), topo, transport,
                                   [&](minimpi::Context& ctx) {
+                if (!rank_pin_plan.empty()) {
+                    minimpi::pin_current_thread(
+                        rank_pin_plan[static_cast<std::size_t>(ctx.rank())]);
+                }
                 const trace::WorkerTracer tracer =
                     session ? session->tracer(ctx.rank(), ctx.node()) : trace::WorkerTracer{};
-                const WorkerStats stats = run_mpi_mpi_rank(ctx, n, cfg, rh, body, tracer);
+                const WorkerStats stats =
+                    run_mpi_mpi_rank(ctx, n, effective, rh, body, tracer);
                 const std::lock_guard<std::mutex> lock(merge_mutex);
                 report.workers[static_cast<std::size_t>(ctx.rank())] = stats;
             });
@@ -184,8 +245,8 @@ ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
             minimpi::Topology topo;  // one master rank per leaf group
             topo.ranks_per_node = 1;
             minimpi::Runtime::run(shape.nodes, topo, transport, [&](minimpi::Context& ctx) {
-                const auto stats = run_hybrid_rank(ctx, shape.workers_per_node, n, cfg, rh,
-                                                   body, session.get());
+                const auto stats = run_hybrid_rank(ctx, shape.workers_per_node, n, effective,
+                                                   rh, body, session.get());
                 const std::lock_guard<std::mutex> lock(merge_mutex);
                 for (int t = 0; t < shape.workers_per_node; ++t) {
                     report.workers[static_cast<std::size_t>(

@@ -10,8 +10,10 @@
 
 #include "dls/sharding.hpp"
 #include "dls/technique.hpp"
+#include "minimpi/host_topology.hpp"
 #include "minimpi/topology.hpp"
 #include "minimpi/transport.hpp"
+#include "simd/dispatch.hpp"
 
 namespace hdls::core {
 
@@ -108,6 +110,21 @@ struct HierConfig {
     /// defers to HDLS_TRANSPORT (default: threads). The chunk multiset a
     /// HierConfig produces is transport-invariant. Ignored by MPI+OpenMP.
     std::optional<minimpi::TransportKind> transport;
+    /// SIMD backend policy of the batch kernels the loop body may dispatch
+    /// through (simd::run_mandelbrot_batch & co): Auto picks the widest
+    /// usable backend, ForceScalar pins the scalar reference kernels,
+    /// Native demands a vector backend (set_mode throws otherwise). Every
+    /// backend is bit-identical, so this knob changes speed, never results.
+    /// Unset defers to HDLS_SIMD (default: auto).
+    std::optional<simd::SimdMode> simd;
+    /// Thread/rank placement over the host's sockets (minimpi::PinPolicy):
+    /// Compact fills a socket before spilling, Scatter round-robins across
+    /// sockets, None leaves placement to the OS. Under MPI+OpenMP the leaf
+    /// ThreadTeams pin their members; under MPI+MPI (threads transport) the
+    /// rank threads are pinned. When a WF run with empty node_weights is
+    /// pinned, per-node weights are filled from measured per-CPU kernel
+    /// throughput (the honesty loop). Unset defers to HDLS_PIN (none).
+    std::optional<minimpi::PinPolicy> pin;
 };
 
 /// Loop body executed chunk-wise. MUST be thread-safe across disjoint

@@ -1,0 +1,37 @@
+#pragma once
+/// \file first_touch.hpp
+/// First-touch initialization of kernel buffers by the team that will
+/// compute into them.
+///
+/// On Linux, pages are physically allocated on the NUMA node of the thread
+/// that first writes them. A buffer memset by the main thread therefore
+/// lands entirely on one socket, and a scattered team then pulls half its
+/// working set across the interconnect. Initializing each thread's static
+/// share from inside the (pinned) team puts the pages where the compute is.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "ompsim/schedule.hpp"
+#include "ompsim/team.hpp"
+
+namespace hdls::ompsim {
+
+/// Runs init(begin, end, thread_id) over [0, n) with the default static
+/// (one contiguous block per thread) partition — the same partition a
+/// subsequent static loop over the buffer would use.
+template <typename Init>
+void first_touch_ranges(ThreadTeam& team, std::int64_t n, Init&& init) {
+    team.parallel_for(0, n, ForOptions{},
+                      [&init](std::int64_t b, std::int64_t e, int tid) { init(b, e, tid); });
+}
+
+/// First-touch fill of data[0..n) with `value`.
+template <typename T>
+void first_touch_fill(ThreadTeam& team, T* data, std::int64_t n, T value) {
+    first_touch_ranges(team, n, [data, value](std::int64_t b, std::int64_t e, int /*tid*/) {
+        std::fill(data + b, data + e, value);
+    });
+}
+
+}  // namespace hdls::ompsim

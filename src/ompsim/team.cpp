@@ -15,9 +15,25 @@ namespace hdls::ompsim {
 
 thread_local int ThreadTeam::current_thread_id_ = -1;
 
-ThreadTeam::ThreadTeam(int num_threads) {
+ThreadTeam::ThreadTeam(int num_threads) : ThreadTeam(num_threads, Placement{}) {}
+
+ThreadTeam::ThreadTeam(int num_threads, const Placement& placement) {
     if (num_threads < 1) {
         throw std::invalid_argument("ThreadTeam: need at least one thread");
+    }
+    pin_policy_ = placement.policy;
+    if (pin_policy_ == minimpi::PinPolicy::None) {
+        pin_cpus_.assign(static_cast<std::size_t>(num_threads), -1);
+    } else {
+        const minimpi::HostTopology host = placement.host.sockets().empty()
+                                               ? minimpi::HostTopology::detect()
+                                               : placement.host;
+        pin_cpus_ = host.plan(pin_policy_, placement.first_worker, num_threads);
+        // The caller is thread 0: save its affinity (restored on destroy,
+        // so a pinned team does not leak placement into its creator) and
+        // pin it like any other member.
+        caller_affinity_ = minimpi::current_thread_affinity();
+        minimpi::pin_current_thread(pin_cpus_[0]);
     }
     workshares_.reserve(kWorkshareSlots);
     for (std::size_t i = 0; i < kWorkshareSlots; ++i) {
@@ -48,9 +64,11 @@ ThreadTeam::~ThreadTeam() {
             w.join();
         }
     }
+    minimpi::set_current_thread_affinity(caller_affinity_);
 }
 
 void ThreadTeam::worker_main(int thread_id, const std::stop_token& stop) {
+    minimpi::pin_current_thread(pin_cpus_[static_cast<std::size_t>(thread_id)]);
     std::uint64_t seen = 0;
     for (;;) {
         const std::function<void(int)>* body = nullptr;
@@ -284,6 +302,22 @@ void ThreadTeam::for_each(std::int64_t begin, std::int64_t end, const ForOptions
 void ThreadTeam::parallel_for(std::int64_t begin, std::int64_t end, const ForOptions& opts,
                               const ChunkBody& body) {
     parallel([&](int /*tid*/) { for_chunks(begin, end, opts, body); });
+}
+
+int ThreadTeam::pinned_cpu(int thread_id) const noexcept {
+    if (thread_id < 0 || thread_id >= size()) {
+        return -1;
+    }
+    return pin_cpus_[static_cast<std::size_t>(thread_id)];
+}
+
+std::vector<double> ThreadTeam::measure_per_thread(
+    const std::function<double(int)>& probe) {
+    std::vector<double> out(static_cast<std::size_t>(size()), 0.0);
+    // Distinct indices per thread: no synchronization needed beyond the
+    // region's implicit join.
+    parallel([&](int tid) { out[static_cast<std::size_t>(tid)] = probe(tid); });
+    return out;
 }
 
 }  // namespace hdls::ompsim

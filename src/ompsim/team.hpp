@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "minimpi/host_topology.hpp"
 #include "ompsim/schedule.hpp"
 
 namespace hdls::ompsim {
@@ -28,7 +29,20 @@ public:
     /// Chunk-granular loop body: [begin, end) executed by `thread_id`.
     using ChunkBody = std::function<void(std::int64_t begin, std::int64_t end, int thread_id)>;
 
+    /// Where this team's members land on the host (HDLS_PIN).
+    struct Placement {
+        minimpi::PinPolicy policy = minimpi::PinPolicy::None;
+        /// Socket layout to plan over; empty (no sockets) means "detect at
+        /// team construction". Tests inject HostTopology::uniform here.
+        minimpi::HostTopology host;
+        /// Global worker index of this team's thread 0, so co-located teams
+        /// (one per rank under the threads transport) interleave over the
+        /// host CPUs instead of stacking onto the same cores.
+        int first_worker = 0;
+    };
+
     explicit ThreadTeam(int num_threads);
+    ThreadTeam(int num_threads, const Placement& placement);
     ~ThreadTeam();
 
     ThreadTeam(const ThreadTeam&) = delete;
@@ -59,6 +73,17 @@ public:
     void parallel_for(std::int64_t begin, std::int64_t end, const ForOptions& opts,
                       const ChunkBody& body);
 
+    /// The CPU thread `thread_id` is pinned to, or -1 when unpinned.
+    [[nodiscard]] int pinned_cpu(int thread_id) const noexcept;
+    [[nodiscard]] minimpi::PinPolicy pin_policy() const noexcept { return pin_policy_; }
+
+    /// Runs probe(thread_id) on every member (a full parallel region) and
+    /// returns the per-thread results indexed by thread id. This is how
+    /// per-worker kernel throughput is measured *on the CPUs the workers
+    /// actually occupy* to seed the honest AWF/WF weights.
+    [[nodiscard]] std::vector<double> measure_per_thread(
+        const std::function<double(int thread_id)>& probe);
+
 private:
     /// Shared state of one worksharing construct. Slots are recycled
     /// round-robin; the generation tag pairs threads with the right
@@ -85,6 +110,12 @@ private:
 
     // thread-id of the calling thread within the current region (TLS).
     static thread_local int current_thread_id_;
+
+    // Placement plan: per-thread CPU (or -1), set before workers start.
+    minimpi::PinPolicy pin_policy_ = minimpi::PinPolicy::None;
+    std::vector<int> pin_cpus_;
+    // Thread 0 is the caller, whose affinity we change; restored on destroy.
+    std::vector<int> caller_affinity_;
 
     std::vector<std::jthread> workers_;
 

@@ -1,0 +1,248 @@
+#pragma once
+/// \file batch_kernels.hpp
+/// Width-templated batch forms of the app kernels (mandelbrot escape loop,
+/// PSIA support filter, synthetic FLOP burner), shared by every backend:
+/// kernels_scalar.cpp instantiates them with scalar_vec<1>,
+/// kernels_avx2.cpp with avx2_vec, kernels_neon.cpp with neon_vec.
+///
+/// The templates are written so each lane executes the *same IEEE-754
+/// operation sequence* as the scalar app code (same association, no FMA,
+/// squares cached exactly where the scalar loop caches them). That is the
+/// load-bearing property behind the checksum-parity tests: an image
+/// rendered through any backend is bit-identical to the scalar render.
+///
+/// These headers know nothing of the app types — callers lower their
+/// configs to the plain geometry/filter structs below (apps/mandelbrot.cpp
+/// and apps/psia.cpp do the lowering).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "simd/simd.hpp"
+#include "util/prefetch.hpp"
+
+namespace hdls::simd {
+
+/// Chunk-invariant mandelbrot geometry: everything `mandelbrot_iterations`
+/// used to recompute per pixel, hoisted out once per config/chunk.
+struct MandelbrotGeom {
+    double re_min = 0.0;
+    double im_min = 0.0;
+    double dx = 0.0;  ///< (re_max - re_min) / width
+    double dy = 0.0;  ///< (im_max - im_min) / height
+    std::int64_t width = 1;
+    int max_iter = 0;
+};
+
+/// Chunk-invariant PSIA support filter for one spin-image center: the
+/// center point, its normal, and the acceptance thresholds of in_support.
+struct SpinFilter {
+    double cx = 0.0, cy = 0.0, cz = 0.0;  ///< center position
+    double nx = 0.0, ny = 0.0, nz = 0.0;  ///< center normal
+    double cos_min = -1.0;                ///< support_angle_cos threshold
+    double beta_max = 0.0;
+    double alpha2_max = 0.0;  ///< alpha_max^2
+};
+
+/// Doubles per OrientedPoint in the AoS gather (position + normal).
+inline constexpr int kSpinPointStride = 6;
+
+/// Prefetch distance (in vector blocks) of the PSIA gather ring.
+inline constexpr std::int64_t kSpinPrefetchBlocks = 8;
+
+namespace kernels {
+
+/// One W-pixel block of the escape loop, lane-masked. The `active` mask is
+/// sticky: once a lane escapes it never re-arms, so escaped lanes may keep
+/// iterating to inf/NaN without affecting their recorded count — exactly
+/// the count the scalar loop produces for that pixel.
+template <typename V>
+inline void mandelbrot_block(const MandelbrotGeom& g, std::int64_t first_pixel,
+                             int* out) noexcept {
+    constexpr int W = V::width;
+    using M = typename V::mask_type;
+
+    double crl[W];
+    double cil[W];
+    for (int l = 0; l < W; ++l) {
+        const std::int64_t p = first_pixel + l;
+        const auto x = static_cast<double>(p % g.width);
+        const auto y = static_cast<double>(p / g.width);
+        // Same expressions as the scalar kernel: pixel centers, one mul +
+        // one add each, dx/dy hoisted into the geometry.
+        crl[l] = g.re_min + (x + 0.5) * g.dx;
+        cil[l] = g.im_min + (y + 0.5) * g.dy;
+    }
+
+    const V cr = V::load(crl);
+    const V ci = V::load(cil);
+    const V four = V::broadcast(4.0);
+    const V two = V::broadcast(2.0);
+    const V one = V::broadcast(1.0);
+    V zr = V::zero();
+    V zi = V::zero();
+    V count = V::zero();
+    M active = M::all_true();
+
+    for (int it = 0; it < g.max_iter; ++it) {
+        const V zr2 = zr * zr;
+        const V zi2 = zi * zi;
+        active = active & ~cmp_gt(zr2 + zi2, four);
+        if (active.none()) {
+            break;
+        }
+        count = count + select(active, one, V::zero());
+        zi = two * zr * zi + ci;
+        zr = zr2 - zi2 + cr;
+    }
+
+    double cl[W];
+    count.store(cl);
+    for (int l = 0; l < W; ++l) {
+        out[l] = static_cast<int>(cl[l]);
+    }
+}
+
+/// Escape-time iteration counts of pixels [first_pixel, first_pixel +
+/// count), row-major, written to out[0..count). The scalar remainder
+/// (count % W) runs through scalar_vec<1>, which is the scalar reference.
+template <typename V>
+inline void mandelbrot_batch(const MandelbrotGeom& g, std::int64_t first_pixel,
+                             std::int64_t count, int* out) noexcept {
+    constexpr int W = V::width;
+    std::int64_t i = 0;
+    for (; i + W <= count; i += W) {
+        mandelbrot_block<V>(g, first_pixel + i, out + i);
+    }
+    for (; i < count; ++i) {
+        mandelbrot_block<scalar_vec<1>>(g, first_pixel + i, out + i);
+    }
+}
+
+/// PSIA support filter over candidates [begin, begin + count) of an AoS
+/// point cloud (kSpinPointStride doubles per point: px py pz nx ny nz).
+/// Appends the (alpha, beta) of every candidate passing in_support to
+/// out_alpha/out_beta *in candidate order* (so the caller's bilinear
+/// accumulation order — float adds — matches the scalar loop exactly) and
+/// returns how many were written. With Prefetch set, the gather issues a
+/// software prefetch kSpinPrefetchBlocks vector-blocks ahead: the 48-byte
+/// point stride plus the filter between loads is where the hardware
+/// prefetcher loses the pattern.
+template <typename V, bool Prefetch>
+inline std::int64_t spin_support_batch(const double* aos, std::int64_t begin,
+                                       std::int64_t count, const SpinFilter& f,
+                                       double* out_alpha, double* out_beta) noexcept {
+    constexpr int W = V::width;
+
+    const V cx = V::broadcast(f.cx);
+    const V cy = V::broadcast(f.cy);
+    const V cz = V::broadcast(f.cz);
+    const V nx = V::broadcast(f.nx);
+    const V ny = V::broadcast(f.ny);
+    const V nz = V::broadcast(f.nz);
+    const V cos_min = V::broadcast(f.cos_min);
+    const V beta_max = V::broadcast(f.beta_max);
+    const V alpha2_max = V::broadcast(f.alpha2_max);
+
+    std::int64_t written = 0;
+    std::int64_t i = 0;
+    for (; i + W <= count; i += W) {
+        if constexpr (Prefetch) {
+            // One prefetch per block covers the leading line of the block
+            // kSpinPrefetchBlocks ahead; at 48 B/point a W-point block
+            // spans at most ceil(48W/64)+1 lines, so touch those too.
+            const double* ahead =
+                aos + kSpinPointStride * (begin + i + kSpinPrefetchBlocks * W);
+            for (int line = 0; line < (kSpinPointStride * W + 7) / 8; ++line) {
+                util::prefetch_read(ahead + 8 * line);
+            }
+        }
+
+        double pxl[W], pyl[W], pzl[W];
+        double qxl[W], qyl[W], qzl[W];
+        for (int l = 0; l < W; ++l) {
+            const double* p = aos + kSpinPointStride * (begin + i + l);
+            pxl[l] = p[0];
+            pyl[l] = p[1];
+            pzl[l] = p[2];
+            qxl[l] = p[3];
+            qyl[l] = p[4];
+            qzl[l] = p[5];
+        }
+
+        // center.normal . candidate.normal, same association as Vec3::dot.
+        const V qx = V::load(qxl);
+        const V qy = V::load(qyl);
+        const V qz = V::load(qzl);
+        const V ndot = nx * qx + ny * qy + nz * qz;
+
+        const V dx = V::load(pxl) - cx;
+        const V dy = V::load(pyl) - cy;
+        const V dz = V::load(pzl) - cz;
+        const V beta = nx * dx + ny * dy + nz * dz;
+        const V norm2 = dx * dx + dy * dy + dz * dz;
+        const V alpha2 = norm2 - beta * beta;
+
+        // in_support's rejections, negated verbatim (NaN behaviour included):
+        //   reject if ndot <  cos_min
+        //   reject if |beta| > beta_max
+        //   accept iff alpha2 <= alpha_max^2
+        const auto keep = ~cmp_lt(ndot, cos_min) & ~cmp_gt(abs(beta), beta_max) &
+                          cmp_le(alpha2, alpha2_max);
+        if (keep.any()) {
+            double bl[W], a2l[W];
+            beta.store(bl);
+            alpha2.store(a2l);
+            for (int l = 0; l < W; ++l) {
+                if (keep.test(l)) {
+                    // Same expression as the scalar accumulate path.
+                    out_alpha[written] = std::sqrt(std::max(a2l[l], 0.0));
+                    out_beta[written] = bl[l];
+                    ++written;
+                }
+            }
+        }
+    }
+
+    if constexpr (W > 1) {
+        written += spin_support_batch<scalar_vec<1>, false>(
+            aos, begin + i, count - i, f, out_alpha + written, out_beta + written);
+    }
+    return written;
+}
+
+/// Synthetic-trace burner: executes `rounds` multiply-add work units
+/// spread over W independent lane chains (so a wider backend finishes the
+/// same amount of virtual work in proportionally fewer steps — the honest
+/// hardware heterogeneity AWF-* should see). Returns the folded
+/// accumulator to keep the loop observable; the value is backend-dependent
+/// by design and excluded from parity checks.
+template <typename V>
+inline double burn_rounds(std::int64_t rounds) noexcept {
+    constexpr int W = V::width;
+    double init[W];
+    for (int l = 0; l < W; ++l) {
+        // Every lane must start OFF the map's fixed point (x* = 1.0):
+        // a lane sitting exactly on it makes the whole loop invariant, and
+        // the compiler folds it away — turning the burner into a no-op.
+        init[l] = 1.001 + 0.001 * static_cast<double>(l);
+    }
+    V x = V::load(init);
+    const V a = V::broadcast(0.999999);
+    const V b = V::broadcast(1e-6);
+    const std::int64_t steps = (rounds + W - 1) / W;
+    for (std::int64_t s = 0; s < steps; ++s) {
+        x = x * a + b;
+    }
+    double out[W];
+    x.store(out);
+    double sum = 0.0;
+    for (int l = 0; l < W; ++l) {
+        sum += out[l];
+    }
+    return sum;
+}
+
+}  // namespace kernels
+}  // namespace hdls::simd

@@ -1,0 +1,43 @@
+/// \file kernels_avx2.cpp
+/// AVX2 backend instantiation of the batch kernels (4 x double lanes).
+///
+/// CMake compiles this one file with -mavx2 on x86 builds (see
+/// HDLS_ENABLE_AVX2_KERNELS), so the rest of the library keeps the
+/// baseline ISA and the dispatch layer gates entry on a runtime
+/// __builtin_cpu_supports("avx2") check. Deliberately *not* compiled with
+/// -mfma: fused multiply-add would contract the escape-loop arithmetic and
+/// break bit-parity with the scalar reference. If the flag was not applied
+/// (non-x86 target, option off), the guard below compiles this TU empty.
+
+#if defined(__AVX2__)
+
+#include "simd/batch_kernels.hpp"
+
+namespace hdls::simd::detail_kernels {
+
+void mandelbrot_avx2(const MandelbrotGeom& g, std::int64_t first_pixel,
+                     std::int64_t count, int* out) noexcept {
+    kernels::mandelbrot_batch<avx2_vec>(g, first_pixel, count, out);
+}
+
+std::int64_t spin_support_avx2(const double* aos, std::int64_t begin,
+                               std::int64_t count, const SpinFilter& f,
+                               double* out_alpha, double* out_beta) noexcept {
+    return kernels::spin_support_batch<avx2_vec, false>(aos, begin, count, f,
+                                                        out_alpha, out_beta);
+}
+
+std::int64_t spin_support_prefetch_avx2(const double* aos, std::int64_t begin,
+                                        std::int64_t count, const SpinFilter& f,
+                                        double* out_alpha, double* out_beta) noexcept {
+    return kernels::spin_support_batch<avx2_vec, true>(aos, begin, count, f,
+                                                       out_alpha, out_beta);
+}
+
+double burn_avx2(std::int64_t rounds) noexcept {
+    return kernels::burn_rounds<avx2_vec>(rounds);
+}
+
+}  // namespace hdls::simd::detail_kernels
+
+#endif  // __AVX2__

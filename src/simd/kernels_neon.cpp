@@ -1,0 +1,38 @@
+/// \file kernels_neon.cpp
+/// NEON backend instantiation of the batch kernels (2 x double lanes,
+/// aarch64 only — AdvSIMD is baseline there, so no special flags needed;
+/// the guard compiles this TU empty elsewhere). Scalar multiply + add,
+/// never vfma: bit-parity with the scalar reference is the contract.
+
+#if defined(__ARM_NEON) && defined(__aarch64__)
+
+#include "simd/batch_kernels.hpp"
+
+namespace hdls::simd::detail_kernels {
+
+void mandelbrot_neon(const MandelbrotGeom& g, std::int64_t first_pixel,
+                     std::int64_t count, int* out) noexcept {
+    kernels::mandelbrot_batch<neon_vec>(g, first_pixel, count, out);
+}
+
+std::int64_t spin_support_neon(const double* aos, std::int64_t begin,
+                               std::int64_t count, const SpinFilter& f,
+                               double* out_alpha, double* out_beta) noexcept {
+    return kernels::spin_support_batch<neon_vec, false>(aos, begin, count, f,
+                                                        out_alpha, out_beta);
+}
+
+std::int64_t spin_support_prefetch_neon(const double* aos, std::int64_t begin,
+                                        std::int64_t count, const SpinFilter& f,
+                                        double* out_alpha, double* out_beta) noexcept {
+    return kernels::spin_support_batch<neon_vec, true>(aos, begin, count, f,
+                                                       out_alpha, out_beta);
+}
+
+double burn_neon(std::int64_t rounds) noexcept {
+    return kernels::burn_rounds<neon_vec>(rounds);
+}
+
+}  // namespace hdls::simd::detail_kernels
+
+#endif  // __ARM_NEON && __aarch64__

@@ -1,0 +1,33 @@
+/// \file kernels_scalar.cpp
+/// Scalar backend instantiation of the batch kernels: scalar_vec<1> runs
+/// the exact per-lane operation sequence every vector backend must match,
+/// so this TU *is* the parity reference. Always compiled, on every target.
+
+#include "simd/batch_kernels.hpp"
+
+namespace hdls::simd::detail_kernels {
+
+void mandelbrot_scalar(const MandelbrotGeom& g, std::int64_t first_pixel,
+                       std::int64_t count, int* out) noexcept {
+    kernels::mandelbrot_batch<scalar_vec<1>>(g, first_pixel, count, out);
+}
+
+std::int64_t spin_support_scalar(const double* aos, std::int64_t begin,
+                                 std::int64_t count, const SpinFilter& f,
+                                 double* out_alpha, double* out_beta) noexcept {
+    return kernels::spin_support_batch<scalar_vec<1>, false>(aos, begin, count, f,
+                                                             out_alpha, out_beta);
+}
+
+std::int64_t spin_support_prefetch_scalar(const double* aos, std::int64_t begin,
+                                          std::int64_t count, const SpinFilter& f,
+                                          double* out_alpha, double* out_beta) noexcept {
+    return kernels::spin_support_batch<scalar_vec<1>, true>(aos, begin, count, f,
+                                                            out_alpha, out_beta);
+}
+
+double burn_scalar(std::int64_t rounds) noexcept {
+    return kernels::burn_rounds<scalar_vec<1>>(rounds);
+}
+
+}  // namespace hdls::simd::detail_kernels

@@ -1,0 +1,379 @@
+#pragma once
+/// \file simd.hpp
+/// Fixed-width SIMD vector abstraction for the app kernels, modeled on
+/// arbor's simd/avx.hpp idiom: one small value type per backend exposing
+/// the handful of operations the batch kernels need (lane-wise +,-,*,
+/// sqrt, abs, comparisons-to-mask, select), with the backend chosen at
+/// compile time per translation unit.
+///
+/// Three backends:
+///  * scalar_vec<N>  — plain double lanes; always available, any width.
+///                     scalar_vec<1> IS the scalar reference semantics.
+///  * avx2_vec       — 4 x double on __m256d; defined only when the TU is
+///                     compiled with AVX2 (-mavx2 or -march>=haswell).
+///  * neon_vec       — 2 x double on float64x2_t; defined only under
+///                     __ARM_NEON (aarch64).
+///
+/// Each backend type has a distinct name, and backend-specific kernels are
+/// instantiated only in their own translation units (kernels_scalar.cpp /
+/// kernels_avx2.cpp / kernels_neon.cpp), so a binary can mix an AVX2 TU
+/// with scalar TUs without ODR hazards; runtime selection between the
+/// compiled-in backends lives in simd/dispatch.hpp.
+///
+/// Bit-exactness contract (what makes scalar-vs-vector checksum parity
+/// tests possible): every lane operation is a single correctly-rounded
+/// IEEE-754 double operation — add/sub/mul/sqrt/abs map to one instruction
+/// per lane with no fused multiply-add anywhere (the repo builds with
+/// -ffp-contract=off and the kernels never use FMA intrinsics), so a lane
+/// of avx2_vec computes bit-identical results to scalar_vec<1> executing
+/// the same expression.
+///
+/// The generic-width alias the kernels and tests use:
+///     simd::vec<double, N>
+/// resolves to the widest backend this TU was compiled for at that width,
+/// falling back to scalar_vec<N>.
+
+#include <cmath>
+#include <cstdint>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+#if defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace hdls::simd {
+
+// ------------------------------------------------------------- scalar ----
+
+template <int N>
+struct scalar_mask {
+    static_assert(N >= 1);
+    bool lane[N];
+
+    [[nodiscard]] static scalar_mask all_true() noexcept {
+        scalar_mask m;
+        for (int l = 0; l < N; ++l) {
+            m.lane[l] = true;
+        }
+        return m;
+    }
+
+    [[nodiscard]] bool test(int l) const noexcept { return lane[l]; }
+
+    [[nodiscard]] bool any() const noexcept {
+        for (int l = 0; l < N; ++l) {
+            if (lane[l]) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    [[nodiscard]] bool none() const noexcept { return !any(); }
+
+    friend scalar_mask operator&(scalar_mask a, scalar_mask b) noexcept {
+        scalar_mask m;
+        for (int l = 0; l < N; ++l) {
+            m.lane[l] = a.lane[l] && b.lane[l];
+        }
+        return m;
+    }
+
+    friend scalar_mask operator~(scalar_mask a) noexcept {
+        scalar_mask m;
+        for (int l = 0; l < N; ++l) {
+            m.lane[l] = !a.lane[l];
+        }
+        return m;
+    }
+};
+
+/// Reference backend: N plain double lanes. scalar_vec<1> is, by
+/// construction, exactly the scalar code the vector backends must match.
+template <int N>
+struct scalar_vec {
+    static_assert(N >= 1);
+    static constexpr int width = N;
+    using mask_type = scalar_mask<N>;
+
+    double lane[N];
+
+    [[nodiscard]] static scalar_vec broadcast(double v) noexcept {
+        scalar_vec r;
+        for (int l = 0; l < N; ++l) {
+            r.lane[l] = v;
+        }
+        return r;
+    }
+
+    [[nodiscard]] static scalar_vec zero() noexcept { return broadcast(0.0); }
+
+    [[nodiscard]] static scalar_vec load(const double* p) noexcept {
+        scalar_vec r;
+        for (int l = 0; l < N; ++l) {
+            r.lane[l] = p[l];
+        }
+        return r;
+    }
+
+    void store(double* p) const noexcept {
+        for (int l = 0; l < N; ++l) {
+            p[l] = lane[l];
+        }
+    }
+
+    friend scalar_vec operator+(scalar_vec a, scalar_vec b) noexcept {
+        scalar_vec r;
+        for (int l = 0; l < N; ++l) {
+            r.lane[l] = a.lane[l] + b.lane[l];
+        }
+        return r;
+    }
+
+    friend scalar_vec operator-(scalar_vec a, scalar_vec b) noexcept {
+        scalar_vec r;
+        for (int l = 0; l < N; ++l) {
+            r.lane[l] = a.lane[l] - b.lane[l];
+        }
+        return r;
+    }
+
+    friend scalar_vec operator*(scalar_vec a, scalar_vec b) noexcept {
+        scalar_vec r;
+        for (int l = 0; l < N; ++l) {
+            r.lane[l] = a.lane[l] * b.lane[l];
+        }
+        return r;
+    }
+
+    [[nodiscard]] friend scalar_vec abs(scalar_vec a) noexcept {
+        scalar_vec r;
+        for (int l = 0; l < N; ++l) {
+            r.lane[l] = std::abs(a.lane[l]);
+        }
+        return r;
+    }
+
+    [[nodiscard]] friend scalar_vec sqrt(scalar_vec a) noexcept {
+        scalar_vec r;
+        for (int l = 0; l < N; ++l) {
+            r.lane[l] = std::sqrt(a.lane[l]);
+        }
+        return r;
+    }
+
+    [[nodiscard]] friend scalar_mask<N> cmp_gt(scalar_vec a, scalar_vec b) noexcept {
+        scalar_mask<N> m;
+        for (int l = 0; l < N; ++l) {
+            m.lane[l] = a.lane[l] > b.lane[l];
+        }
+        return m;
+    }
+
+    [[nodiscard]] friend scalar_mask<N> cmp_lt(scalar_vec a, scalar_vec b) noexcept {
+        scalar_mask<N> m;
+        for (int l = 0; l < N; ++l) {
+            m.lane[l] = a.lane[l] < b.lane[l];
+        }
+        return m;
+    }
+
+    [[nodiscard]] friend scalar_mask<N> cmp_le(scalar_vec a, scalar_vec b) noexcept {
+        scalar_mask<N> m;
+        for (int l = 0; l < N; ++l) {
+            m.lane[l] = a.lane[l] <= b.lane[l];
+        }
+        return m;
+    }
+
+    [[nodiscard]] friend scalar_vec select(scalar_mask<N> m, scalar_vec a,
+                                           scalar_vec b) noexcept {
+        scalar_vec r;
+        for (int l = 0; l < N; ++l) {
+            r.lane[l] = m.lane[l] ? a.lane[l] : b.lane[l];
+        }
+        return r;
+    }
+};
+
+// --------------------------------------------------------------- AVX2 ----
+
+#if defined(__AVX2__)
+
+struct avx2_mask {
+    __m256d m;
+
+    [[nodiscard]] static avx2_mask all_true() noexcept {
+        return {_mm256_castsi256_pd(_mm256_set1_epi64x(-1))};
+    }
+
+    [[nodiscard]] bool test(int l) const noexcept {
+        return (_mm256_movemask_pd(m) & (1 << l)) != 0;
+    }
+
+    [[nodiscard]] bool any() const noexcept { return _mm256_movemask_pd(m) != 0; }
+    [[nodiscard]] bool none() const noexcept { return _mm256_movemask_pd(m) == 0; }
+
+    friend avx2_mask operator&(avx2_mask a, avx2_mask b) noexcept {
+        return {_mm256_and_pd(a.m, b.m)};
+    }
+
+    friend avx2_mask operator~(avx2_mask a) noexcept {
+        return {_mm256_andnot_pd(a.m, all_true().m)};
+    }
+};
+
+/// 4 x double on AVX2. No FMA: multiply and add stay separate, correctly
+/// rounded instructions so lanes match the scalar reference bit-for-bit.
+struct avx2_vec {
+    static constexpr int width = 4;
+    using mask_type = avx2_mask;
+
+    __m256d v;
+
+    [[nodiscard]] static avx2_vec broadcast(double x) noexcept { return {_mm256_set1_pd(x)}; }
+    [[nodiscard]] static avx2_vec zero() noexcept { return {_mm256_setzero_pd()}; }
+    [[nodiscard]] static avx2_vec load(const double* p) noexcept {
+        return {_mm256_loadu_pd(p)};
+    }
+    void store(double* p) const noexcept { _mm256_storeu_pd(p, v); }
+
+    friend avx2_vec operator+(avx2_vec a, avx2_vec b) noexcept {
+        return {_mm256_add_pd(a.v, b.v)};
+    }
+    friend avx2_vec operator-(avx2_vec a, avx2_vec b) noexcept {
+        return {_mm256_sub_pd(a.v, b.v)};
+    }
+    friend avx2_vec operator*(avx2_vec a, avx2_vec b) noexcept {
+        return {_mm256_mul_pd(a.v, b.v)};
+    }
+
+    [[nodiscard]] friend avx2_vec abs(avx2_vec a) noexcept {
+        return {_mm256_andnot_pd(_mm256_set1_pd(-0.0), a.v)};
+    }
+
+    [[nodiscard]] friend avx2_vec sqrt(avx2_vec a) noexcept {
+        return {_mm256_sqrt_pd(a.v)};
+    }
+
+    // _CMP_*_OQ: quiet, ordered — NaN compares false, like the scalar
+    // operators (only the exception flags differ, which nothing reads).
+    [[nodiscard]] friend avx2_mask cmp_gt(avx2_vec a, avx2_vec b) noexcept {
+        return {_mm256_cmp_pd(a.v, b.v, _CMP_GT_OQ)};
+    }
+    [[nodiscard]] friend avx2_mask cmp_lt(avx2_vec a, avx2_vec b) noexcept {
+        return {_mm256_cmp_pd(a.v, b.v, _CMP_LT_OQ)};
+    }
+    [[nodiscard]] friend avx2_mask cmp_le(avx2_vec a, avx2_vec b) noexcept {
+        return {_mm256_cmp_pd(a.v, b.v, _CMP_LE_OQ)};
+    }
+
+    [[nodiscard]] friend avx2_vec select(avx2_mask m, avx2_vec a, avx2_vec b) noexcept {
+        return {_mm256_blendv_pd(b.v, a.v, m.m)};
+    }
+};
+
+#endif  // __AVX2__
+
+// --------------------------------------------------------------- NEON ----
+
+#if defined(__ARM_NEON) && defined(__aarch64__)
+
+struct neon_mask {
+    uint64x2_t m;
+
+    [[nodiscard]] static neon_mask all_true() noexcept { return {vdupq_n_u64(~0ULL)}; }
+
+    [[nodiscard]] bool test(int l) const noexcept {
+        return (l == 0 ? vgetq_lane_u64(m, 0) : vgetq_lane_u64(m, 1)) != 0;
+    }
+
+    [[nodiscard]] bool any() const noexcept {
+        return (vgetq_lane_u64(m, 0) | vgetq_lane_u64(m, 1)) != 0;
+    }
+    [[nodiscard]] bool none() const noexcept { return !any(); }
+
+    friend neon_mask operator&(neon_mask a, neon_mask b) noexcept {
+        return {vandq_u64(a.m, b.m)};
+    }
+    friend neon_mask operator~(neon_mask a) noexcept {
+        return {veorq_u64(a.m, vdupq_n_u64(~0ULL))};
+    }
+};
+
+/// 2 x double on NEON (aarch64). Same no-FMA, correctly-rounded contract.
+struct neon_vec {
+    static constexpr int width = 2;
+    using mask_type = neon_mask;
+
+    float64x2_t v;
+
+    [[nodiscard]] static neon_vec broadcast(double x) noexcept { return {vdupq_n_f64(x)}; }
+    [[nodiscard]] static neon_vec zero() noexcept { return {vdupq_n_f64(0.0)}; }
+    [[nodiscard]] static neon_vec load(const double* p) noexcept { return {vld1q_f64(p)}; }
+    void store(double* p) const noexcept { vst1q_f64(p, v); }
+
+    friend neon_vec operator+(neon_vec a, neon_vec b) noexcept {
+        return {vaddq_f64(a.v, b.v)};
+    }
+    friend neon_vec operator-(neon_vec a, neon_vec b) noexcept {
+        return {vsubq_f64(a.v, b.v)};
+    }
+    friend neon_vec operator*(neon_vec a, neon_vec b) noexcept {
+        return {vmulq_f64(a.v, b.v)};
+    }
+
+    [[nodiscard]] friend neon_vec abs(neon_vec a) noexcept { return {vabsq_f64(a.v)}; }
+    [[nodiscard]] friend neon_vec sqrt(neon_vec a) noexcept { return {vsqrtq_f64(a.v)}; }
+
+    [[nodiscard]] friend neon_mask cmp_gt(neon_vec a, neon_vec b) noexcept {
+        return {vcgtq_f64(a.v, b.v)};
+    }
+    [[nodiscard]] friend neon_mask cmp_lt(neon_vec a, neon_vec b) noexcept {
+        return {vcltq_f64(a.v, b.v)};
+    }
+    [[nodiscard]] friend neon_mask cmp_le(neon_vec a, neon_vec b) noexcept {
+        return {vcleq_f64(a.v, b.v)};
+    }
+
+    [[nodiscard]] friend neon_vec select(neon_mask m, neon_vec a, neon_vec b) noexcept {
+        return {vbslq_f64(m.m, a.v, b.v)};
+    }
+};
+
+#endif  // __ARM_NEON && __aarch64__
+
+// ------------------------------------------------------- width aliases ----
+
+namespace detail {
+
+template <typename T, int N>
+struct vec_for {
+    using type = scalar_vec<N>;
+};
+
+#if defined(__AVX2__)
+template <>
+struct vec_for<double, 4> {
+    using type = avx2_vec;
+};
+#elif defined(__ARM_NEON) && defined(__aarch64__)
+template <>
+struct vec_for<double, 2> {
+    using type = neon_vec;
+};
+#endif
+
+}  // namespace detail
+
+/// The widest backend this TU was compiled for at width N (scalar
+/// otherwise). `vec<double, 4>` is avx2_vec inside an AVX2 TU and
+/// scalar_vec<4> elsewhere — backend-specific code must therefore live in
+/// backend-specific TUs (see kernels_*.cpp), which is exactly how the
+/// dispatch layer arranges it.
+template <typename T, int N>
+using vec = typename detail::vec_for<T, N>::type;
+
+}  // namespace hdls::simd

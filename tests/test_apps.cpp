@@ -76,6 +76,33 @@ TEST(MandelbrotTest, ImageTracksUncomputedPixels) {
     EXPECT_EQ(img.uncomputed(), 0);
 }
 
+TEST(MandelbrotTest, DeferInitMatchesNormalConstruction) {
+    const MandelbrotConfig cfg = small_config();
+    MandelbrotImage eager(cfg);
+    eager.compute_range(0, cfg.pixels());
+
+    MandelbrotImage deferred(cfg, MandelbrotImage::DeferInit{});
+    // First-touch style: initialize in two disjoint ranges, then compute.
+    deferred.init_range(0, cfg.pixels() / 2);
+    deferred.init_range(cfg.pixels() / 2, cfg.pixels());
+    EXPECT_EQ(deferred.uncomputed(), cfg.pixels());
+    deferred.compute_range(0, cfg.pixels());
+    EXPECT_EQ(deferred.uncomputed(), 0);
+    EXPECT_EQ(deferred.checksum(), eager.checksum());
+}
+
+TEST(MandelbrotTest, BatchMatchesPerPixelIterations) {
+    const MandelbrotConfig cfg = small_config();
+    std::vector<int> batch(static_cast<std::size_t>(cfg.pixels()));
+    mandelbrot_iterations_batch(cfg, 0, cfg.pixels(), batch.data());
+    for (std::int64_t p = 0; p < cfg.pixels(); p += 13) {
+        EXPECT_EQ(batch[static_cast<std::size_t>(p)], mandelbrot_iterations(cfg, p));
+    }
+    const hdls::simd::MandelbrotGeom geom = mandelbrot_geometry(cfg);
+    EXPECT_EQ(geom.width, cfg.width);
+    EXPECT_EQ(geom.max_iter, cfg.max_iter);
+}
+
 TEST(MandelbrotTest, ChecksumIsOrderIndependentButContentSensitive) {
     const MandelbrotConfig cfg = small_config();
     MandelbrotImage forward(cfg);

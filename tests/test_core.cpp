@@ -534,6 +534,39 @@ TEST(EnvConfigTest, TransportEnvThrowsOnUnknownValues) {
               minimpi::TransportKind::Shm);
 }
 
+TEST(EnvConfigTest, SimdEnvThrowsOnUnknownPolicies) {
+    ::setenv("HDLS_SIMD", " Auto ", 1);
+    EXPECT_EQ(simd_mode_from_env(), hdls::simd::SimdMode::Auto);
+    ::setenv("HDLS_SIMD", "scalar", 1);
+    EXPECT_EQ(simd_mode_from_env(), hdls::simd::SimdMode::ForceScalar);
+    ::setenv("HDLS_SIMD", "NATIVE", 1);
+    EXPECT_EQ(simd_mode_from_env(), hdls::simd::SimdMode::Native);
+    for (const char* bad : {"avx512", "vector", "", "on"}) {
+        ::setenv("HDLS_SIMD", bad, 1);
+        EXPECT_THROW((void)simd_mode_from_env(), std::invalid_argument) << bad;
+    }
+    ::unsetenv("HDLS_SIMD");
+    EXPECT_EQ(simd_mode_from_env(), hdls::simd::SimdMode::Auto);
+    EXPECT_EQ(simd_mode_from_env(hdls::simd::SimdMode::Native),
+              hdls::simd::SimdMode::Native);
+}
+
+TEST(EnvConfigTest, PinEnvThrowsOnUnknownPolicies) {
+    ::setenv("HDLS_PIN", " Compact ", 1);
+    EXPECT_EQ(pin_from_env(), minimpi::PinPolicy::Compact);
+    ::setenv("HDLS_PIN", "SCATTER", 1);
+    EXPECT_EQ(pin_from_env(), minimpi::PinPolicy::Scatter);
+    ::setenv("HDLS_PIN", "none", 1);
+    EXPECT_EQ(pin_from_env(minimpi::PinPolicy::Compact), minimpi::PinPolicy::None);
+    for (const char* bad : {"numa", "cores", "", "1"}) {
+        ::setenv("HDLS_PIN", bad, 1);
+        EXPECT_THROW((void)pin_from_env(), std::invalid_argument) << bad;
+    }
+    ::unsetenv("HDLS_PIN");
+    EXPECT_EQ(pin_from_env(), minimpi::PinPolicy::None);
+    EXPECT_EQ(pin_from_env(minimpi::PinPolicy::Scatter), minimpi::PinPolicy::Scatter);
+}
+
 TEST(EnvConfigTest, MetricsEnvThrowsOnNonBooleanValues) {
     ::setenv("HDLS_METRICS", "1", 1);
     EXPECT_TRUE(metrics_from_env());
