@@ -304,6 +304,36 @@ minimpi::TransportKind transport_from_env(minimpi::TransportKind fallback) {
     return minimpi::transport_from_env(fallback);
 }
 
+int max_jobs_from_env(int fallback) {
+    const char* value = std::getenv("HDLS_MAX_JOBS");
+    if (value == nullptr) {
+        return fallback;
+    }
+    const std::string s = stripped(value);
+    int jobs = 0;
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), jobs);
+    if (ec != std::errc{} || ptr != s.data() + s.size() || jobs < 1) {
+        throw std::invalid_argument(std::string("HDLS_MAX_JOBS='") + value +
+                                    "' is not a positive integer");
+    }
+    return jobs;
+}
+
+int job_queue_depth_from_env(int fallback) {
+    const char* value = std::getenv("HDLS_JOB_QUEUE_DEPTH");
+    if (value == nullptr) {
+        return fallback;
+    }
+    const std::string s = stripped(value);
+    int depth = -1;
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), depth);
+    if (ec != std::errc{} || ptr != s.data() + s.size() || depth < 0) {
+        throw std::invalid_argument(std::string("HDLS_JOB_QUEUE_DEPTH='") + value +
+                                    "' is not a non-negative integer");
+    }
+    return depth;
+}
+
 simd::SimdMode simd_mode_from_env(simd::SimdMode fallback) {
     const char* value = std::getenv("HDLS_SIMD");
     if (value == nullptr) {

@@ -33,6 +33,11 @@
 ///                           policy for the batch kernels (src/simd/)
 ///     HDLS_PIN            — "none" | "compact" | "scatter" thread/rank
 ///                           placement over the host's sockets
+///     HDLS_MAX_JOBS       — JobService: max jobs running concurrently
+///                           (default 4)
+///     HDLS_JOB_QUEUE_DEPTH — JobService: bounded pending-job queue depth;
+///                           submit() beyond it throws ErrorCode::Resource
+///                           (default 16)
 ///
 /// Malformed HDLS_SCHEDULE / HDLS_APPROACH / HDLS_TRACE fall back with a
 /// warning (mirroring how OpenMP runtimes treat bad OMP_SCHEDULE values);
@@ -139,6 +144,19 @@ namespace hdls::core {
 /// every throughput number the run produces).
 [[nodiscard]] simd::SimdMode simd_mode_from_env(
     simd::SimdMode fallback = simd::SimdMode::Auto);
+
+/// Reads HDLS_MAX_JOBS (a positive integer): the JobService's default
+/// concurrent-job limit. Returns `fallback` when unset; throws
+/// std::invalid_argument when set but not a positive integer (no silent
+/// fallback — a typo'd limit would change the service's whole admission
+/// behaviour).
+[[nodiscard]] int max_jobs_from_env(int fallback = 4);
+
+/// Reads HDLS_JOB_QUEUE_DEPTH (an integer >= 0): the JobService's bounded
+/// pending-job queue depth (0 = reject any job that cannot start at
+/// once). Returns `fallback` when unset; throws std::invalid_argument
+/// when set but not a non-negative integer.
+[[nodiscard]] int job_queue_depth_from_env(int fallback = 16);
 
 /// Reads HDLS_PIN ("none" | "compact" | "scatter", case-insensitive): the
 /// placement of leaf workers over the host's sockets. Returns `fallback`

@@ -39,7 +39,7 @@ using Clock = std::chrono::steady_clock;
 std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx, int threads_per_node,
                                          std::int64_t n, const HierConfig& cfg,
                                          const ResolvedHierarchy& rh, const ChunkBody& body,
-                                         trace::TraceSession* session) {
+                                         trace::TraceSession* session, const RankHooks& hooks) {
     if (ctx.topology().ranks_per_node != 1) {
         throw UnsupportedCombination(
             "run_hybrid_rank: the MPI+OpenMP model maps exactly one rank per leaf group");
@@ -103,7 +103,7 @@ std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx, int threads_per_
         auto& mine = stats[static_cast<std::size_t>(tid)];
         trace::WorkerTracer& tracer = tracers[static_cast<std::size_t>(tid)];
         const bool tracing = tracer.enabled();
-        metrics::worker_enter(ctx.rank() * threads_per_node + tid);
+        metrics::worker_enter(ctx.rank() * threads_per_node + tid, hooks.watchdog);
         for (;;) {
             if (tid == 0) {
                 // The join barrier below serialized the team, so the
@@ -120,6 +120,13 @@ std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx, int threads_per_
                 const double acq_t0 = tracing ? tracer.now() : 0.0;
                 const Clock::time_point a0 = Clock::now();
                 current = chain.try_acquire();
+                // Multi-tenant gate: one slot covers the whole team while
+                // it workshares this chunk (funneled model). A refusal
+                // cancels the run — dropping the chunk ends the team loop.
+                if (current && hooks.gate != nullptr &&
+                    !hooks.gate->begin_chunk(ctx.rank())) {
+                    current.reset();
+                }
                 acquire_seconds = seconds_since(a0);
                 chunk_t0 = Clock::now();
                 if (count_master_acquire && current) {
@@ -174,7 +181,8 @@ std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx, int threads_per_
                                     static_cast<std::uint64_t>(thread_busy * 1e9));
                                 metrics::worker_beat(
                                     ctx.rank() * threads_per_node + thread_id, pull_level,
-                                    b, /*prefetch_outstanding=*/false, thread_busy);
+                                    b, /*prefetch_outstanding=*/false, thread_busy,
+                                    hooks.watchdog);
                                 if (thread_tracer.enabled()) {
                                     const double end = thread_tracer.now();
                                     thread_tracer.instant(trace::EventKind::ChunkExecEnd, end,
@@ -187,6 +195,11 @@ std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx, int threads_per_
             if (tracing) {
                 tracer.record(trace::EventKind::BarrierWait, last_busy, tracer.now());
             }
+            if (tid == 0 && hooks.gate != nullptr) {
+                // The worksharing construct's implicit barrier has passed:
+                // the chunk is fully executed, release the team's slot.
+                hooks.gate->end_chunk(ctx.rank(), chunk.size);
+            }
         }
         if (tid == 0) {
             // Close chain-side wait spans (no-op at depth 2); the team's
@@ -196,7 +209,7 @@ std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx, int threads_per_
         if (tracing) {
             tracer.instant(trace::EventKind::Terminate, tracer.now());
         }
-        metrics::worker_leave(ctx.rank() * threads_per_node + tid);
+        metrics::worker_leave(ctx.rank() * threads_per_node + tid, hooks.watchdog);
         mine.finish_seconds = seconds_since(t0);
     });
 

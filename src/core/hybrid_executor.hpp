@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "core/exec_hooks.hpp"
 #include "core/hierarchy.hpp"
 #include "core/report.hpp"
 #include "core/types.hpp"
@@ -37,12 +38,16 @@ public:
 /// the masters), and the thread team workshares each chunk under the leaf
 /// technique. Returns one WorkerStats per thread of this node. When
 /// `session` is non-null every thread records its chunk-lifecycle events
-/// under global worker id rank * threads_per_node + tid.
+/// under global worker id rank * threads_per_node + tid. `hooks.watchdog`
+/// receives the team's heartbeats; the chunk gate, when set, is consulted
+/// by the master around each team chunk (the whole team counts as one
+/// slot — the funneled model admits no finer grain).
 [[nodiscard]] std::vector<WorkerStats> run_hybrid_rank(minimpi::Context& ctx,
                                                        int threads_per_node, std::int64_t n,
                                                        const HierConfig& cfg,
                                                        const ResolvedHierarchy& rh,
                                                        const ChunkBody& body,
-                                                       trace::TraceSession* session = nullptr);
+                                                       trace::TraceSession* session = nullptr,
+                                                       const RankHooks& hooks = {});
 
 }  // namespace hdls::core

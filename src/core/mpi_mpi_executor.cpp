@@ -22,7 +22,7 @@ using Clock = std::chrono::steady_clock;
 
 WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierConfig& cfg,
                              const ResolvedHierarchy& rh, const ChunkBody& body,
-                             trace::WorkerTracer tracer) {
+                             trace::WorkerTracer tracer, const RankHooks& hooks) {
     const minimpi::Comm& world = ctx.world();
 
     // The rank's view of the scheduling hierarchy: the root backend plus
@@ -71,16 +71,18 @@ WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierCo
     hier.set_feedback_flush(flush_feedback);
 
     const metrics::RuntimeMetrics& m = metrics::rt();
-    metrics::worker_enter(world.rank());
+    metrics::worker_enter(world.rank(), hooks.watchdog);
 
     // Rank 0 lends the watchdog a view into the sharded root: per-shard
     // remaining counts (atomic reads on the RMA window) so a stall dump
     // can name the starved shard. The probe must not outlive the window it
     // reads, so the guard below clears it on *every* exit path — a chunk
     // body that throws unwinds through hier's destructor (freeing the
-    // window) while the watchdog thread may be mid-check.
-    metrics::StallWatchdog* const wd =
-        world.rank() == 0 ? metrics::active_watchdog() : nullptr;
+    // window) while the watchdog thread may be mid-check. The watchdog is
+    // the run's own (threaded through hooks), never the global registry's:
+    // with concurrent runs, the registry top may belong to another run and
+    // a probe into *this* run's window must die with this run.
+    metrics::StallWatchdog* const wd = world.rank() == 0 ? hooks.watchdog : nullptr;
     struct ProbeGuard {
         metrics::StallWatchdog* wd;
         ~ProbeGuard() {
@@ -106,7 +108,16 @@ WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierCo
     const Clock::time_point t0 = Clock::now();
     sched_mark = t0;
 
+    bool cancelled = false;
     while (const auto sub = source.try_acquire()) {
+        // Multi-tenant gate: the chunk is acquired (the chain's refill /
+        // termination protocol is done), now wait for a fair-share slot
+        // before burning CPU on it. A refusal means the job was cancelled:
+        // drop the chunk and leave; peers drain the same way.
+        if (hooks.gate != nullptr && !hooks.gate->begin_chunk(world.rank())) {
+            cancelled = true;
+            break;
+        }
         if (tracing) {
             tracer.instant(trace::EventKind::ChunkExecBegin, tracer.now(), sub->start,
                            sub->start + sub->size);
@@ -126,10 +137,13 @@ WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierCo
         // none is installed). Reading the prefetch slot is safe here: this
         // thread is the only one that touches it.
         metrics::worker_beat(world.rank(), source.level(), sub->start,
-                             source.has_prefetched(), busy);
+                             source.has_prefetched(), busy, hooks.watchdog);
         if (tracing) {
             tracer.instant(trace::EventKind::ChunkExecEnd, tracer.now(), sub->start,
                            sub->start + sub->size);
+        }
+        if (hooks.gate != nullptr) {
+            hooks.gate->end_chunk(world.rank(), sub->size);
         }
         if (feedback) {
             pending_iters += sub->size;
@@ -138,8 +152,9 @@ WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierCo
             sched_mark = b1;
         }
     }
+    (void)cancelled;  // the partial WorkerStats already tell the story
     flush_feedback();  // final accounting for chunks executed since the last refill
-    metrics::worker_leave(world.rank());
+    metrics::worker_leave(world.rank(), hooks.watchdog);
     hier.finish();
 
     stats.global_refills = source.refills();

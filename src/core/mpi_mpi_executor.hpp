@@ -11,6 +11,7 @@
 /// exists anywhere, which is the property Figures 3/5/6/7 credit for the
 /// MPI+MPI wins with intra-node STATIC.
 
+#include "core/exec_hooks.hpp"
 #include "core/hierarchy.hpp"
 #include "core/report.hpp"
 #include "core/types.hpp"
@@ -26,10 +27,14 @@ namespace hdls::core {
 /// this rank's statistics (finish time is measured from the common
 /// post-setup barrier). A default-constructed (disabled) `tracer` records
 /// nothing and costs nothing; an enabled one records the rank's
-/// chunk-lifecycle events, level-tagged.
+/// chunk-lifecycle events, level-tagged. `hooks` carries the run-scoped
+/// seams: the multi-tenant chunk gate (consulted between acquisition and
+/// execution; a false begin_chunk cancels this rank's loop) and the run's
+/// own stall watchdog.
 [[nodiscard]] WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n,
                                            const HierConfig& cfg, const ResolvedHierarchy& rh,
                                            const ChunkBody& body,
-                                           trace::WorkerTracer tracer = {});
+                                           trace::WorkerTracer tracer = {},
+                                           const RankHooks& hooks = {});
 
 }  // namespace hdls::core

@@ -121,6 +121,12 @@ void validate_combination(const ClusterShape& shape, Approach approach, const Hi
 
 ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
                                  const HierConfig& cfg, std::int64_t n, const ChunkBody& body) {
+    return run_hierarchical(shape, approach, cfg, n, body, RunOptions{});
+}
+
+ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
+                                 const HierConfig& cfg, std::int64_t n, const ChunkBody& body,
+                                 const RunOptions& opts) {
     const ResolvedHierarchy rh = validate_and_resolve(shape, approach, cfg);
     if (n < 0) {
         throw std::invalid_argument("run_hierarchical: n must be >= 0");
@@ -188,40 +194,45 @@ ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
 
     // Opt-in event tracing: one ring buffer per worker, merged after the
     // run. A null session means every executor carries a disabled recorder.
+    // Service runs pass a job id so every event is born job-stamped.
     std::unique_ptr<trace::TraceSession> session;
     if (cfg.trace) {
         session = std::make_unique<trace::TraceSession>(shape.total_workers(),
-                                                        cfg.trace_capacity);
+                                                        cfg.trace_capacity, opts.job);
     }
 
     // Always-on metrics: the run's delta over the process-wide registry is
-    // attached to the report below. HDLS_METRICS=1 additionally runs the
-    // background sampler (Prometheus exposition file, HDLS_METRICS_FILE)
-    // and the stall watchdog for the duration of the run, both on the
-    // HDLS_METRICS_PERIOD_MS cadence.
-    // Note: the registry (and the single watchdog hook) are process-wide,
-    // so two overlapping run_hierarchical calls in one process would see
-    // each other's counts in their metrics deltas; the runtime assumes one
-    // run at a time per process. The guard restores whatever watchdog was
-    // installed before this run — on every exit path, so a thrown executor
-    // error cannot leave the hook pointing at a dead watchdog — which at
-    // least keeps an outer run's watchdog alive across an inner run.
+    // attached to the report below. HDLS_METRICS=1 (or the RunOptions
+    // override) additionally runs the background sampler (Prometheus
+    // exposition file, HDLS_METRICS_FILE) and the stall watchdog for the
+    // duration of the run, both on the HDLS_METRICS_PERIOD_MS cadence.
+    // Concurrent runs are safe: each run owns its watchdog instance, beats
+    // it explicitly through RankHooks, and its registry installation is
+    // removed by identity (never by restoring a stale snapshot), so no
+    // interleaving of run lifetimes can dangle the global hook. The
+    // snapshot delta below remains process-wide — overlapping runs see
+    // each other's counts; per-job attribution lives in the JobService's
+    // job metrics and per-job traces.
     const metrics::Snapshot metrics_before = metrics::registry().snapshot();
     std::unique_ptr<metrics::MetricsSampler> sampler;
     std::unique_ptr<metrics::StallWatchdog> watchdog;
-    struct WatchdogGuard {
-        metrics::StallWatchdog* const prev = metrics::active_watchdog();
-        ~WatchdogGuard() { metrics::install_watchdog(prev); }
-    } watchdog_guard;
-    if (metrics_from_env()) {
+    if (opts.metrics.value_or(metrics_from_env())) {
         const std::chrono::milliseconds period = metrics_period_from_env();
         sampler = std::make_unique<metrics::MetricsSampler>(metrics::registry(), period);
-        sampler->set_exposition_file(metrics_file_from_env());
+        sampler->set_exposition_file(opts.metrics_file ? *opts.metrics_file
+                                                       : metrics_file_from_env());
         sampler->start();
         watchdog = std::make_unique<metrics::StallWatchdog>(shape.total_workers());
-        metrics::install_watchdog(watchdog.get());
         watchdog->start(period);
     }
+    const metrics::WatchdogInstallation watchdog_installation(watchdog.get());
+    // A run without its own watchdog still beats an externally installed
+    // one (tools install theirs via install_watchdog and expect runs to
+    // report into it). Captured once, before threads launch: the pointer
+    // stays stable for the whole run even if the registry top changes.
+    RankHooks hooks;
+    hooks.gate = opts.gate;
+    hooks.watchdog = watchdog ? watchdog.get() : metrics::active_watchdog();
 
     switch (approach) {
         case Approach::MpiMpi: {
@@ -235,7 +246,7 @@ ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
                 const trace::WorkerTracer tracer =
                     session ? session->tracer(ctx.rank(), ctx.node()) : trace::WorkerTracer{};
                 const WorkerStats stats =
-                    run_mpi_mpi_rank(ctx, n, effective, rh, body, tracer);
+                    run_mpi_mpi_rank(ctx, n, effective, rh, body, tracer, hooks);
                 const std::lock_guard<std::mutex> lock(merge_mutex);
                 report.workers[static_cast<std::size_t>(ctx.rank())] = stats;
             });
@@ -246,7 +257,7 @@ ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
             topo.ranks_per_node = 1;
             minimpi::Runtime::run(shape.nodes, topo, transport, [&](minimpi::Context& ctx) {
                 const auto stats = run_hybrid_rank(ctx, shape.workers_per_node, n, effective,
-                                                   rh, body, session.get());
+                                                   rh, body, session.get(), hooks);
                 const std::lock_guard<std::mutex> lock(merge_mutex);
                 for (int t = 0; t < shape.workers_per_node; ++t) {
                     report.workers[static_cast<std::size_t>(
@@ -259,7 +270,7 @@ ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
     }
 
     if (watchdog) {
-        metrics::install_watchdog(watchdog_guard.prev);
+        metrics::uninstall_watchdog(watchdog.get());
         watchdog->stop();
     }
     if (sampler) {
@@ -273,7 +284,10 @@ ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
                                         .intra = std::string(dls::technique_name(report.intra)),
                                         .nodes = shape.nodes,
                                         .workers_per_node = shape.workers_per_node,
-                                        .total_iterations = n});
+                                        .total_iterations = n,
+                                        .job = opts.job,
+                                        .job_name = {},
+                                        .jobs = {}});
     }
 
     double max_finish = 0.0;

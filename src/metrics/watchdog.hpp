@@ -132,31 +132,71 @@ private:
     bool stop_requested_ = false;
 };
 
-/// Global watchdog hook. Executors beat through these free functions so
-/// instrumentation costs one relaxed pointer load when no watchdog is
-/// installed. install_watchdog(nullptr) uninstalls.
+/// Global watchdog hook, now a *registry*: installations stack, and
+/// active_watchdog() returns the most recent live one (a single relaxed
+/// pointer load on the hot path). Overlapping runs each install their own
+/// watchdog and remove exactly their own entry with uninstall_watchdog(),
+/// so no interleaving of run lifetimes can leave the hook pointing at a
+/// destroyed watchdog — the failure mode of the old save/restore guard.
+/// install_watchdog(nullptr) keeps its legacy meaning: uninstall the most
+/// recent installation.
 void install_watchdog(StallWatchdog* wd) noexcept;
+/// Removes this specific watchdog from the registry (idempotent; nullptr
+/// is a no-op). The preferred uninstall for scoped installations.
+void uninstall_watchdog(StallWatchdog* wd) noexcept;
 [[nodiscard]] StallWatchdog* active_watchdog() noexcept;
 
-inline void worker_enter(int worker) noexcept {
+/// RAII installation — the exception-safe way to scope a watchdog to a
+/// run. Removal targets exactly this watchdog, so overlapping scopes may
+/// unwind in any order.
+class WatchdogInstallation {
+public:
+    explicit WatchdogInstallation(StallWatchdog* wd) noexcept : wd_(wd) {
+        if (wd_ != nullptr) {
+            install_watchdog(wd_);
+        }
+    }
+    ~WatchdogInstallation() { uninstall_watchdog(wd_); }
+    WatchdogInstallation(const WatchdogInstallation&) = delete;
+    WatchdogInstallation& operator=(const WatchdogInstallation&) = delete;
+
+private:
+    StallWatchdog* wd_;
+};
+
+/// The explicit-watchdog entry points: executors thread the run's own
+/// watchdog through these (see core::RankHooks) so concurrent runs beat
+/// their own instance instead of whichever happens to top the global
+/// registry. `wd == nullptr` keeps only the always-on gauge updates.
+inline void worker_enter(int worker, StallWatchdog* wd) noexcept {
     rt().workers_active->add(1);  // gauge is always-on, watchdog opt-in
-    if (StallWatchdog* wd = active_watchdog()) {
+    if (wd != nullptr) {
         wd->enter(worker);
     }
 }
 
-inline void worker_leave(int worker) noexcept {
+inline void worker_leave(int worker, StallWatchdog* wd) noexcept {
     rt().workers_active->add(-1);
-    if (StallWatchdog* wd = active_watchdog()) {
+    if (wd != nullptr) {
         wd->leave(worker);
     }
 }
 
 inline void worker_beat(int worker, int level, std::int64_t chunk_start,
-                        bool prefetch_outstanding, double chunk_seconds) noexcept {
-    if (StallWatchdog* wd = active_watchdog()) {
+                        bool prefetch_outstanding, double chunk_seconds,
+                        StallWatchdog* wd) noexcept {
+    if (wd != nullptr) {
         wd->beat(worker, level, chunk_start, prefetch_outstanding, chunk_seconds);
     }
+}
+
+/// Registry-addressed conveniences (legacy callers, standalone tools).
+inline void worker_enter(int worker) noexcept { worker_enter(worker, active_watchdog()); }
+inline void worker_leave(int worker) noexcept { worker_leave(worker, active_watchdog()); }
+inline void worker_beat(int worker, int level, std::int64_t chunk_start,
+                        bool prefetch_outstanding, double chunk_seconds) noexcept {
+    worker_beat(worker, level, chunk_start, prefetch_outstanding, chunk_seconds,
+                active_watchdog());
 }
 
 }  // namespace hdls::metrics

@@ -1,0 +1,223 @@
+#include "sim/job_stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "dls/sharding.hpp"
+
+namespace hdls::sim {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+struct FluidJob {
+    std::size_t index = 0;       ///< position in the input vector
+    double priority = 1.0;
+    double arrival = 0.0;
+    double solo_time = 0.0;      ///< T_j
+    double parallelism = 1.0;    ///< P_j, clamped to [1, W]
+    std::int64_t iterations = 0;
+    double remaining = 0.0;      ///< solo-run-time not yet executed
+    double entitled = 0.0;       ///< current apportioned share g_j
+    double usable = 0.0;         ///< current usable share u_j <= min(g_j surplus, P_j)
+    double slot_seconds = 0.0;
+    double entitled_seconds = 0.0;
+    double finish = 0.0;
+    bool done = false;
+};
+
+/// Re-apportion the slots across active jobs exactly like the governor
+/// (weight = priority × remaining iterations, largest-remainder), then
+/// water-fill: a job cannot use more slots than its parallelism P_j, and
+/// slots it cannot use flow to jobs that still can.
+void apportion(std::vector<FluidJob*>& active, int slots) {
+    const int n = static_cast<int>(active.size());
+    std::vector<double> weights(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        const FluidJob& j = *active[static_cast<std::size_t>(i)];
+        const double remaining_iters =
+            j.solo_time > 0.0
+                ? static_cast<double>(j.iterations) * (j.remaining / j.solo_time)
+                : 0.0;
+        weights[static_cast<std::size_t>(i)] = j.priority * std::max(remaining_iters, 1.0);
+    }
+    const std::vector<std::int64_t> shares =
+        dls::shard_partition(static_cast<std::int64_t>(slots), weights, n);
+    for (int i = 0; i < n; ++i) {
+        active[static_cast<std::size_t>(i)]->entitled =
+            static_cast<double>(shares[static_cast<std::size_t>(i)]);
+    }
+
+    // Water-filling: clamp each job at P_j, then hand the freed capacity
+    // to unclamped jobs in proportion to their entitlement until either
+    // the surplus is gone or everyone is clamped (the fluid analogue of a
+    // work-conserving governor — idle slots never sit while a job could
+    // use them).
+    for (FluidJob* j : active) {
+        j->usable = std::min(j->entitled, j->parallelism);
+    }
+    double surplus = 0.0;
+    for (const FluidJob* j : active) {
+        surplus += j->entitled - j->usable;
+    }
+    while (surplus > kEps) {
+        double open_weight = 0.0;
+        for (const FluidJob* j : active) {
+            if (j->usable < j->parallelism - kEps) {
+                open_weight += std::max(j->entitled, 1.0);
+            }
+        }
+        if (open_weight <= kEps) {
+            break;  // everyone saturated: surplus genuinely idles
+        }
+        double distributed = 0.0;
+        for (FluidJob* j : active) {
+            if (j->usable < j->parallelism - kEps) {
+                const double grant =
+                    std::min(surplus * std::max(j->entitled, 1.0) / open_weight,
+                             j->parallelism - j->usable);
+                j->usable += grant;
+                distributed += grant;
+            }
+        }
+        if (distributed <= kEps) {
+            break;
+        }
+        surplus -= distributed;
+    }
+}
+
+}  // namespace
+
+double JobStreamReport::latency_quantile(double q) const {
+    if (jobs.empty()) {
+        return 0.0;
+    }
+    std::vector<double> lat;
+    lat.reserve(jobs.size());
+    for (const auto& j : jobs) {
+        lat.push_back(j.latency);
+    }
+    std::sort(lat.begin(), lat.end());
+    const double rank = std::clamp(q, 0.0, 1.0) * static_cast<double>(lat.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - std::floor(rank);
+    return lat[lo] + (lat[hi] - lat[lo]) * frac;
+}
+
+JobStreamReport simulate_job_stream(ExecModel model, const ClusterSpec& cluster,
+                                    const SimConfig& base,
+                                    const std::vector<StreamJob>& jobs) {
+    if (jobs.empty()) {
+        throw std::invalid_argument("simulate_job_stream: empty job stream");
+    }
+    cluster.validate();
+    const int slots = cluster.total_workers();
+
+    // Stage 1: solo pricing per job on the real engine.
+    std::vector<FluidJob> fluid(jobs.size());
+    JobStreamReport out;
+    out.slots = slots;
+    out.jobs.resize(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const StreamJob& sj = jobs[i];
+        if (!(sj.priority > 0.0)) {
+            throw std::invalid_argument("simulate_job_stream: priority must be > 0");
+        }
+        if (sj.arrival < 0.0) {
+            throw std::invalid_argument("simulate_job_stream: arrival must be >= 0");
+        }
+        const SimConfig& cfg = sj.config ? *sj.config : base;
+        const SimReport solo = simulate(model, cluster, cfg, sj.workload);
+
+        FluidJob& f = fluid[i];
+        f.index = i;
+        f.priority = sj.priority;
+        f.arrival = sj.arrival;
+        f.solo_time = solo.parallel_time;
+        f.iterations = sj.workload.iterations();
+        f.remaining = solo.parallel_time;
+        f.done = f.remaining <= 0.0;
+        f.finish = f.done ? sj.arrival : 0.0;
+        const double p = solo.parallel_time > 0.0
+                             ? solo.total_busy() / solo.parallel_time
+                             : 1.0;
+        f.parallelism = std::clamp(p, 1.0, static_cast<double>(slots));
+
+        out.serial_time += solo.parallel_time;
+    }
+
+    // Stage 2: fluid processor-sharing in virtual time.
+    double now = 0.0;
+    for (;;) {
+        std::vector<FluidJob*> active;
+        double next_arrival = std::numeric_limits<double>::infinity();
+        for (FluidJob& f : fluid) {
+            if (f.done) {
+                continue;
+            }
+            if (f.arrival <= now + kEps) {
+                active.push_back(&f);
+            } else {
+                next_arrival = std::min(next_arrival, f.arrival);
+            }
+        }
+        if (active.empty()) {
+            if (!std::isfinite(next_arrival)) {
+                break;  // all jobs finished
+            }
+            now = next_arrival;
+            continue;
+        }
+
+        apportion(active, slots);
+
+        // Each active job burns solo-run-time at rate usable / P_j; find
+        // the earliest completion under the current split.
+        double next_completion = std::numeric_limits<double>::infinity();
+        for (const FluidJob* j : active) {
+            if (j->usable > kEps) {
+                next_completion =
+                    std::min(next_completion, now + j->remaining * j->parallelism / j->usable);
+            }
+        }
+        const double next_event = std::min(next_arrival, next_completion);
+        if (!std::isfinite(next_event)) {
+            throw std::logic_error("simulate_job_stream: no progress (zero usable shares)");
+        }
+        const double dt = next_event - now;
+        for (FluidJob* j : active) {
+            j->slot_seconds += j->usable * dt;
+            j->entitled_seconds += j->entitled * dt;
+            j->remaining -= dt * j->usable / j->parallelism;
+            if (j->remaining <= kEps * std::max(j->solo_time, 1.0)) {
+                j->remaining = 0.0;
+                j->done = true;
+                j->finish = next_event;
+            }
+        }
+        now = next_event;
+    }
+
+    for (const FluidJob& f : fluid) {
+        JobStreamStat& s = out.jobs[f.index];
+        s.name = jobs[f.index].name;
+        s.priority = f.priority;
+        s.arrival = f.arrival;
+        s.finish = f.finish;
+        s.latency = f.finish - f.arrival;
+        s.solo_time = f.solo_time;
+        s.parallelism = f.parallelism;
+        s.slot_seconds = f.slot_seconds;
+        s.entitled_seconds = f.entitled_seconds;
+        s.iterations = f.iterations;
+        out.makespan = std::max(out.makespan, f.finish);
+    }
+    return out;
+}
+
+}  // namespace hdls::sim

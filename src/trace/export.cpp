@@ -87,27 +87,44 @@ void export_chrome_json(const Trace& trace, std::ostream& os) {
         os << "\n" << entry;
     };
 
+    // Multi-job (JobService) traces group by job: each job becomes a
+    // Chrome "process" so one job's lanes sit together and carry its name;
+    // classic single-tenant traces keep pid = node.
+    const bool by_job = !trace.meta.jobs.empty();
+    const auto pid_of = [&](const Event& e) { return by_job ? e.job : e.node; };
+    if (by_job) {
+        for (const auto& [job, name] : trace.meta.jobs) {
+            emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + std::to_string(job) +
+                 ",\"args\":{\"name\":\"job " + std::to_string(job) +
+                 (name.empty() ? std::string{} : ": " + json_escape(name)) + "\"}}");
+        }
+    }
+
     // Thread-name metadata: label every worker lane.
     std::map<std::pair<int, int>, bool> seen;
     for (const Event& e : trace.events) {
-        if (seen.emplace(std::pair{e.node, e.worker}, true).second) {
-            emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" + std::to_string(e.node) +
+        if (seen.emplace(std::pair{pid_of(e), e.worker}, true).second) {
+            emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" + std::to_string(pid_of(e)) +
                  ",\"tid\":" + std::to_string(e.worker) +
                  ",\"args\":{\"name\":\"worker " + std::to_string(e.worker) + "\"}}");
         }
     }
 
     for (const Event& e : trace.events) {
-        const std::string common = "\"pid\":" + std::to_string(e.node) +
+        const std::string common = "\"pid\":" + std::to_string(pid_of(e)) +
                                    ",\"tid\":" + std::to_string(e.worker) +
                                    ",\"ts\":" + json_number(us(e.t0));
+        // Every tagged event names its job in args so job identity
+        // survives re-grouping in the viewer.
+        const std::string job_arg =
+            e.job >= 0 ? ",\"job\":" + std::to_string(e.job) : std::string{};
         switch (e.kind) {
             case EventKind::GlobalAcquire:
                 emit("{\"name\":\"GlobalAcquire\",\"ph\":\"X\"," + common +
                      ",\"dur\":" + json_number(us(e.duration())) +
                      ",\"args\":{\"start\":" + std::to_string(e.a) +
                      ",\"size\":" + std::to_string(e.b) +
-                     ",\"level\":" + std::to_string(e.level) + "}}");
+                     ",\"level\":" + std::to_string(e.level) + job_arg + "}}");
                 break;
             case EventKind::LocalPop:
                 emit("{\"name\":\"LocalPop\",\"ph\":\"X\"," + common +
@@ -115,7 +132,7 @@ void export_chrome_json(const Trace& trace, std::ostream& os) {
                      ",\"args\":{\"begin\":" + std::to_string(e.a) +
                      ",\"end\":" + std::to_string(e.b) +
                      ",\"lock_wait_us\":" + json_number(us(e.wait)) +
-                     ",\"level\":" + std::to_string(e.level) + "}}");
+                     ",\"level\":" + std::to_string(e.level) + job_arg + "}}");
                 break;
             case EventKind::BarrierWait:
                 emit("{\"name\":\"BarrierWait\",\"ph\":\"X\"," + common +
@@ -124,7 +141,7 @@ void export_chrome_json(const Trace& trace, std::ostream& os) {
             case EventKind::ChunkExecBegin:
                 emit("{\"name\":\"ChunkExec\",\"ph\":\"B\"," + common +
                      ",\"args\":{\"begin\":" + std::to_string(e.a) +
-                     ",\"end\":" + std::to_string(e.b) + "}}");
+                     ",\"end\":" + std::to_string(e.b) + job_arg + "}}");
                 break;
             case EventKind::ChunkExecEnd:
                 emit("{\"name\":\"ChunkExec\",\"ph\":\"E\"," + common + "}");
@@ -165,11 +182,11 @@ void export_chrome_json(const Trace& trace, std::ostream& os) {
 }
 
 void export_csv(const Trace& trace, std::ostream& os) {
-    os << "kind,worker,node,level,t0,t1,wait,a,b\n";
+    os << "kind,worker,node,level,job,t0,t1,wait,a,b\n";
     for (const Event& e : trace.events) {
         os << event_kind_name(e.kind) << "," << e.worker << "," << e.node << ","
-           << static_cast<int>(e.level) << "," << csv_number(e.t0) << "," << csv_number(e.t1)
-           << "," << csv_number(e.wait) << "," << e.a << "," << e.b << "\n";
+           << static_cast<int>(e.level) << "," << e.job << "," << csv_number(e.t0) << ","
+           << csv_number(e.t1) << "," << csv_number(e.wait) << "," << e.a << "," << e.b << "\n";
     }
 }
 

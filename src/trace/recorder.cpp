@@ -8,8 +8,8 @@
 
 namespace hdls::trace {
 
-TraceSession::TraceSession(int workers, std::size_t capacity_per_worker)
-    : epoch_(WorkerTracer::Clock::now()) {
+TraceSession::TraceSession(int workers, std::size_t capacity_per_worker, std::int32_t job)
+    : epoch_(WorkerTracer::Clock::now()), job_(job) {
     if (workers < 1) {
         throw std::invalid_argument("TraceSession: need at least one worker");
     }
@@ -23,7 +23,8 @@ WorkerTracer TraceSession::tracer(int worker, int node) noexcept {
     if (worker < 0 || worker >= workers()) {
         return WorkerTracer{};
     }
-    return WorkerTracer(buffers_[static_cast<std::size_t>(worker)].get(), epoch_, worker, node);
+    return WorkerTracer(buffers_[static_cast<std::size_t>(worker)].get(), epoch_, worker, node,
+                        job_);
 }
 
 Trace TraceSession::merge() {

@@ -57,6 +57,7 @@ public:
         e.b = b;
         e.worker = worker_;
         e.node = node_;
+        e.job = job_;
         e.kind = kind;
         e.level = static_cast<std::int8_t>(level);
         (void)buffer_->try_push(e);
@@ -71,13 +72,14 @@ public:
 private:
     friend class TraceSession;
     WorkerTracer(SpscRingBuffer<Event>* buffer, Clock::time_point epoch, std::int32_t worker,
-                 std::int32_t node) noexcept
-        : buffer_(buffer), epoch_(epoch), worker_(worker), node_(node) {}
+                 std::int32_t node, std::int32_t job) noexcept
+        : buffer_(buffer), epoch_(epoch), worker_(worker), node_(node), job_(job) {}
 
     SpscRingBuffer<Event>* buffer_ = nullptr;
     Clock::time_point epoch_{};
     std::int32_t worker_ = -1;
     std::int32_t node_ = -1;
+    std::int32_t job_ = -1;
 };
 
 /// Owns the per-worker buffers of one traced run.
@@ -89,7 +91,11 @@ class TraceSession {
 public:
     static constexpr std::size_t kDefaultCapacity = 1 << 14;  ///< events per worker
 
-    explicit TraceSession(int workers, std::size_t capacity_per_worker = kDefaultCapacity);
+    /// `job` >= 0 makes this a per-job session: every recorded event is
+    /// stamped with the id, so merge_job_traces needs no rewriting pass
+    /// and partial traces stay attributable.
+    explicit TraceSession(int workers, std::size_t capacity_per_worker = kDefaultCapacity,
+                          std::int32_t job = -1);
 
     [[nodiscard]] int workers() const noexcept { return static_cast<int>(buffers_.size()); }
 
@@ -108,6 +114,7 @@ public:
 private:
     std::vector<std::unique_ptr<SpscRingBuffer<Event>>> buffers_;
     WorkerTracer::Clock::time_point epoch_;
+    std::int32_t job_ = -1;
 };
 
 }  // namespace hdls::trace

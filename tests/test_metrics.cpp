@@ -528,4 +528,77 @@ TEST(MetricsTest, SimulatedRunsCarryAMetricsDelta) {
     EXPECT_GT(report.metrics.counter_total("hdls_sched_acquires_total"), 0u);
 }
 
+// ---------------------------------------------------------- overlapping runs
+
+/// PR 6 installed the watchdog into a single global slot with save/restore
+/// semantics, which assumed one run at a time: two overlapping runs could
+/// restore a dangling pointer on staggered exits. The registry is now a
+/// refcounted install stack with removal by identity. The install/uninstall
+/// dance below interleaves lifetimes in the worst order (A installs, B
+/// installs, A uninstalls) — under the old guard, A's exit would have
+/// reinstated its saved nullptr over B's live watchdog.
+TEST(WatchdogTest, InstallRegistrySurvivesInterleavedLifetimes) {
+    StallWatchdog a(2);
+    StallWatchdog b(2);
+    metrics::install_watchdog(&a);
+    EXPECT_EQ(metrics::active_watchdog(), &a);
+    metrics::install_watchdog(&b);
+    EXPECT_EQ(metrics::active_watchdog(), &b);
+    metrics::uninstall_watchdog(&a);  // out-of-order exit
+    EXPECT_EQ(metrics::active_watchdog(), &b);
+    metrics::uninstall_watchdog(&b);
+    EXPECT_EQ(metrics::active_watchdog(), nullptr);
+    // Idempotent: a second uninstall (the runner's RAII + explicit path)
+    // is a no-op, not corruption.
+    metrics::uninstall_watchdog(&b);
+    EXPECT_EQ(metrics::active_watchdog(), nullptr);
+}
+
+/// Two metrics-enabled runs overlapping in time, each with its own
+/// watchdog, sampler and exposition file — the multi-tenant shape the
+/// JobService produces. Runs in CI under TSan: any lost-update or
+/// dangling-watchdog race in the registry or the beat path is caught
+/// here. Staggered starts/finishes exercise both install orders.
+TEST(WatchdogTest, OverlappingMetricsRunsStayIndependent) {
+    const std::string file_a = "/tmp/hdls_overlap_a.prom";
+    const std::string file_b = "/tmp/hdls_overlap_b.prom";
+    const auto run = [](const std::string& file, std::int64_t n, int sleep_us) {
+        core::ClusterShape shape;
+        shape.nodes = 2;
+        shape.workers_per_node = 2;
+        core::HierConfig cfg;
+        cfg.inter = dls::Technique::GSS;
+        cfg.intra = dls::Technique::SS;
+        core::RunOptions opts;
+        opts.metrics = true;
+        opts.metrics_file = file;
+        return core::run_hierarchical(
+            shape, core::Approach::MpiMpi, cfg, n,
+            [sleep_us](std::int64_t, std::int64_t) {
+                std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+            },
+            opts);
+    };
+    core::ExecutionReport ra;
+    core::ExecutionReport rb;
+    std::thread ta([&] { ra = run(file_a, 300, 50); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    std::thread tb([&] { rb = run(file_b, 150, 200); });
+    ta.join();
+    tb.join();
+    EXPECT_EQ(ra.executed_iterations(), 300);
+    EXPECT_EQ(rb.executed_iterations(), 150);
+    // Both watchdogs uninstalled by identity: the registry is empty.
+    EXPECT_EQ(metrics::active_watchdog(), nullptr);
+    // Each run wrote its own exposition file.
+    for (const std::string& file : {file_a, file_b}) {
+        std::ifstream in(file);
+        ASSERT_TRUE(in.good()) << file;
+        std::stringstream ss;
+        ss << in.rdbuf();
+        EXPECT_NE(ss.str().find("hdls_exec_iterations_total"), std::string::npos);
+        std::remove(file.c_str());
+    }
+}
+
 }  // namespace

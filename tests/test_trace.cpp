@@ -226,7 +226,7 @@ TEST(ExportTest, CsvHasOneRowPerEvent) {
     std::ostringstream oss;
     trace::export_csv(tr, oss);
     const std::string csv = oss.str();
-    EXPECT_EQ(csv.rfind("kind,worker,node,level,t0,t1,wait,a,b\n", 0), 0u);
+    EXPECT_EQ(csv.rfind("kind,worker,node,level,job,t0,t1,wait,a,b\n", 0), 0u);
     const auto lines = static_cast<std::size_t>(
         std::count(csv.begin(), csv.end(), '\n'));
     EXPECT_EQ(lines, tr.events.size() + 1);
@@ -403,6 +403,142 @@ TEST(TraceIntegrationTest, SimulatorTraceOffByDefault) {
     const auto r = simulate(sim::ExecModel::MpiMpi, sim::ClusterSpec{}, sim::SimConfig{},
                             workload);
     EXPECT_EQ(r.trace, nullptr);
+}
+
+// ------------------------------------------------------------ multi-tenant
+
+/// One job's private session: 32 iterations of compute on worker 0, a
+/// barrier wait on worker 1, all born stamped with the session's job id.
+trace::Trace job_trace(int job) {
+    trace::TraceSession session(2, 64, job);
+    auto t0 = session.tracer(0, 0);
+    auto t1 = session.tracer(1, 0);
+    t0.record(EventKind::GlobalAcquire, 0.0, 0.1e-3, 0, 32);
+    t0.instant(EventKind::ChunkExecBegin, 0.1e-3, 0, 32);
+    t0.instant(EventKind::ChunkExecEnd, 1.0e-3, 0, 32);
+    t1.record(EventKind::BarrierWait, 0.0, 0.5e-3);
+    trace::Trace tr = session.merge();
+    tr.meta.approach = "MPI+MPI";
+    tr.meta.nodes = 1;
+    tr.meta.workers_per_node = 2;
+    tr.meta.total_iterations = 32;
+    tr.meta.job = job;
+    return tr;
+}
+
+TEST(MultiTenantTraceTest, SessionStampsEveryEventWithItsJob) {
+    const trace::Trace tr = job_trace(7);
+    ASSERT_FALSE(tr.events.empty());
+    for (const auto& e : tr.events) {
+        EXPECT_EQ(e.job, 7);
+    }
+    EXPECT_EQ(tr.job_events(7).size(), tr.events.size());
+    EXPECT_TRUE(tr.job_events(3).empty());
+}
+
+TEST(MultiTenantTraceTest, MergeRealignsTagsAndSplits) {
+    const trace::Trace ta = job_trace(0);
+    const trace::Trace tb = job_trace(1);
+    const trace::Trace merged = trace::merge_job_traces({
+        {0, "alpha", &ta, 0.0},
+        {1, "beta", &tb, 0.4e-3},  // beta submitted 0.4ms later
+    });
+    ASSERT_EQ(merged.meta.jobs.size(), 2u);
+    EXPECT_EQ(merged.meta.jobs[0].second, "alpha");
+    EXPECT_EQ(merged.meta.jobs[1].second, "beta");
+    EXPECT_EQ(merged.events.size(), ta.events.size() + tb.events.size());
+    EXPECT_EQ(merged.job_events(0).size(), ta.events.size());
+    EXPECT_EQ(merged.job_events(1).size(), tb.events.size());
+    // beta's events are shifted by its offset relative to alpha's.
+    const auto alpha_events = merged.job_events(0);
+    const auto beta_events = merged.job_events(1);
+    EXPECT_NEAR(alpha_events.front().t0, 0.0, 1e-12);
+    EXPECT_NEAR(beta_events.front().t0, 0.4e-3, 1e-12);
+    // Sorted by t0 across jobs after the merge.
+    for (std::size_t i = 1; i < merged.events.size(); ++i) {
+        EXPECT_LE(merged.events[i - 1].t0, merged.events[i].t0);
+    }
+}
+
+TEST(MultiTenantTraceTest, AnalyzeBreaksDownPerJob) {
+    const trace::Trace ta = job_trace(0);
+    const trace::Trace tb = job_trace(1);
+    const trace::Trace merged = trace::merge_job_traces({
+        {0, "alpha", &ta, 0.0},
+        {1, "beta", &tb, 0.2e-3},
+    });
+    const trace::TraceAnalysis a = trace::analyze(merged);
+    ASSERT_EQ(a.jobs.size(), 2u);
+    for (const auto& jb : a.jobs) {
+        EXPECT_EQ(jb.iterations, 32);
+        EXPECT_EQ(jb.chunks, 1);
+        EXPECT_EQ(jb.workers, 2);
+        EXPECT_NEAR(jb.compute, 0.9e-3, 1e-9);
+        EXPECT_GT(jb.sched_overhead, 0.0);
+        EXPECT_GT(jb.barrier_wait, 0.0);
+    }
+    EXPECT_EQ(a.jobs[0].name, "alpha");
+    EXPECT_EQ(a.jobs[1].name, "beta");
+    std::ostringstream oss;
+    a.print(oss);
+    EXPECT_NE(oss.str().find("per-job breakdown"), std::string::npos);
+    // Single-tenant traces keep the analysis job-free.
+    const trace::TraceAnalysis solo = trace::analyze(tiny_trace());
+    EXPECT_TRUE(solo.jobs.empty());
+}
+
+TEST(MultiTenantTraceTest, ChromeExportGroupsByJob) {
+    const trace::Trace ta = job_trace(0);
+    const trace::Trace tb = job_trace(1);
+    const trace::Trace merged = trace::merge_job_traces({
+        {0, "alpha", &ta, 0.0},
+        {1, "beta", &tb, 0.1e-3},
+    });
+    std::ostringstream oss;
+    trace::export_chrome_json(merged, oss);
+    const std::string json = oss.str();
+    expect_balanced_json(json);
+    // Jobs become Chrome processes, named after the job.
+    EXPECT_NE(json.find("job 0: alpha"), std::string::npos);
+    EXPECT_NE(json.find("job 1: beta"), std::string::npos);
+    // Work events carry their job id as an argument.
+    EXPECT_NE(json.find("\"job\":0"), std::string::npos);
+    EXPECT_NE(json.find("\"job\":1"), std::string::npos);
+    // The CSV gains the job column per event row.
+    std::ostringstream csv_oss;
+    trace::export_csv(merged, csv_oss);
+    EXPECT_NE(csv_oss.str().find("GlobalAcquire,0,0,0,1,"), std::string::npos);
+}
+
+TEST(MultiTenantTraceTest, RealRunsMergeEndToEnd) {
+    core::ClusterShape shape;
+    shape.nodes = 2;
+    shape.workers_per_node = 2;
+    core::HierConfig cfg;
+    cfg.inter = dls::Technique::GSS;
+    cfg.intra = dls::Technique::Static;
+    cfg.trace = true;
+    const auto run = [&](int job, std::int64_t n) {
+        core::RunOptions opts;
+        opts.job = job;
+        return core::run_hierarchical(shape, core::Approach::MpiMpi, cfg, n,
+                                      [](std::int64_t, std::int64_t) {}, opts);
+    };
+    const auto ra = run(0, 300);
+    const auto rb = run(1, 200);
+    ASSERT_NE(ra.trace, nullptr);
+    ASSERT_NE(rb.trace, nullptr);
+
+    const trace::Trace merged = trace::merge_job_traces({
+        {0, "first", ra.trace.get(), 0.0},
+        {1, "second", rb.trace.get(), 1e-3},
+    });
+    const trace::TraceAnalysis a = trace::analyze(merged);
+    ASSERT_EQ(a.jobs.size(), 2u);
+    EXPECT_EQ(a.jobs[0].iterations, 300);
+    EXPECT_EQ(a.jobs[1].iterations, 200);
+    EXPECT_EQ(a.jobs[0].name, "first");
+    EXPECT_EQ(a.jobs[1].name, "second");
 }
 
 }  // namespace
