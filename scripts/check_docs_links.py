@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Check every markdown link in README.md and docs/ resolves.
+
+Covers relative file links (the target must exist), intra-repo anchors
+(`file.md#section` / `#section` — the heading must exist in the target,
+GitHub slugification) and flags absolute filesystem links. External
+http(s)/mailto links are not fetched.
+
+Exit 0 when every link resolves, 1 with one line per broken link.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+PAGES = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+
+# [text](target) — target captured up to the closing paren; images too.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# Fenced code blocks must not contribute links (JSON snippets etc.).
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slugification: lowercase, drop punctuation, dashes."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    return slug.replace(" ", "-")
+
+
+def headings_of(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if not in_fence and line.startswith("#"):
+            slugs.add(github_slug(line.lstrip("#")))
+    return slugs
+
+
+def links_of(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            yield lineno, m.group(1)
+
+
+def main() -> int:
+    errors = []
+    checked = 0
+    for page in PAGES:
+        for lineno, target in links_of(page):
+            checked += 1
+            where = f"{page.relative_to(REPO)}:{lineno}"
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("/"):
+                errors.append(f"{where}: absolute link {target!r} will break "
+                              "outside this checkout")
+                continue
+            file_part, _, anchor = target.partition("#")
+            dest = page if not file_part else (page.parent / file_part).resolve()
+            if not dest.exists():
+                errors.append(f"{where}: target {file_part!r} does not exist")
+                continue
+            if anchor and dest.suffix == ".md":
+                if anchor not in headings_of(dest):
+                    errors.append(f"{where}: no heading for anchor "
+                                  f"#{anchor} in {dest.relative_to(REPO)}")
+
+    for err in errors:
+        print(f"ERROR: {err}")
+    if errors:
+        return 1
+    print(f"link check ok: {checked} links across {len(PAGES)} pages")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

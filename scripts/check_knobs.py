@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Fail on drift between the HDLS_* knobs in the source tree and docs/knobs.md.
+
+Source side: every quoted "HDLS_..." string in src/, bench/, examples/ and
+tests/ (the form every getenv() call and env_config reader uses).
+Doc side: every knob row in docs/knobs.md's reference table.
+
+Exit 0 when the two sets match, 1 with a per-knob diagnosis otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SOURCE_DIRS = ["src", "bench", "examples", "tests"]
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".c"}
+KNOBS_DOC = REPO / "docs" / "knobs.md"
+
+
+def knobs_in_source() -> set[str]:
+    knobs: set[str] = set()
+    for dirname in SOURCE_DIRS:
+        for path in (REPO / dirname).rglob("*"):
+            if path.suffix not in SOURCE_SUFFIXES:
+                continue
+            text = path.read_text(encoding="utf-8", errors="replace")
+            knobs.update(re.findall(r'"(HDLS_[A-Z0-9_]+)"', text))
+    return knobs
+
+
+def knobs_in_doc() -> set[str]:
+    knobs: set[str] = set()
+    for line in KNOBS_DOC.read_text(encoding="utf-8").splitlines():
+        # Table rows only: | `HDLS_FOO` | ... |  (prose mentions don't count
+        # as documentation of a knob).
+        m = re.match(r"\|\s*`(HDLS_[A-Z0-9_]+)`\s*\|", line)
+        if m:
+            knobs.add(m.group(1))
+    return knobs
+
+
+def main() -> int:
+    in_source = knobs_in_source()
+    in_doc = knobs_in_doc()
+
+    undocumented = sorted(in_source - in_doc)
+    stale = sorted(in_doc - in_source)
+
+    for knob in undocumented:
+        print(f"ERROR: {knob} is used in the source tree but has no row in "
+              f"{KNOBS_DOC.relative_to(REPO)}")
+    for knob in stale:
+        print(f"ERROR: {knob} has a row in {KNOBS_DOC.relative_to(REPO)} but "
+              f"no source reference (stale doc?)")
+
+    if undocumented or stale:
+        return 1
+    print(f"knob check ok: {len(in_source)} knobs, source and "
+          f"{KNOBS_DOC.relative_to(REPO)} agree")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -354,6 +354,105 @@ simd::SimdMode simd_mode_from_env(simd::SimdMode fallback) {
                                 "'native')");
 }
 
+bool lease_from_env(bool fallback) {
+    const char* value = std::getenv("HDLS_LEASE");
+    if (value == nullptr) {
+        return fallback;
+    }
+    const std::string s = normalized(value);
+    if (s == "1" || s == "ON" || s == "TRUE" || s == "YES") {
+        return true;
+    }
+    if (s == "0" || s == "OFF" || s == "FALSE" || s == "NO") {
+        return false;
+    }
+    throw std::invalid_argument(std::string("HDLS_LEASE='") + value +
+                                "' is not a boolean (expected 1/on/true/yes or 0/off/false/no)");
+}
+
+double lease_k_from_env(double fallback) {
+    const char* value = std::getenv("HDLS_LEASE_K");
+    if (value == nullptr) {
+        return fallback;
+    }
+    const std::string s = stripped(value);
+    char* end = nullptr;
+    const double k = std::strtod(s.c_str(), &end);
+    if (end != s.c_str() + s.size() || s.empty() || !(k > 0.0)) {
+        throw std::invalid_argument(std::string("HDLS_LEASE_K='") + value +
+                                    "' is not a positive number");
+    }
+    return k;
+}
+
+std::chrono::milliseconds heartbeat_timeout_from_env(std::chrono::milliseconds fallback) {
+    const char* value = std::getenv("HDLS_HEARTBEAT_TIMEOUT_MS");
+    if (value == nullptr) {
+        return fallback;
+    }
+    const std::string s = stripped(value);
+    std::int64_t ms = 0;
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), ms);
+    if (ec != std::errc{} || ptr != s.data() + s.size() || ms < 1) {
+        throw std::invalid_argument(std::string("HDLS_HEARTBEAT_TIMEOUT_MS='") + value +
+                                    "' is not a positive integer (milliseconds)");
+    }
+    return std::chrono::milliseconds(ms);
+}
+
+ChaosSpec parse_chaos(std::string_view text) {
+    const std::string s = stripped(std::string(text));
+    const auto fail = [&text]() -> ChaosSpec {
+        throw std::invalid_argument(std::string("chaos spec '") + std::string(text) +
+                                    "' is malformed (expected \"kill:<rank>@<pct>%\", e.g. "
+                                    "\"kill:1@50%\")");
+    };
+    constexpr std::string_view kVerb = "kill:";
+    if (s.size() <= kVerb.size() || normalized(s.substr(0, kVerb.size())) != "KILL:") {
+        return fail();
+    }
+    const std::string rest = stripped(s.substr(kVerb.size()));
+    const std::size_t at = rest.find('@');
+    if (at == std::string::npos) {
+        return fail();
+    }
+    const std::string rank_s = stripped(rest.substr(0, at));
+    std::string pct_s = stripped(rest.substr(at + 1));
+    if (!pct_s.empty() && pct_s.back() == '%') {
+        pct_s = stripped(pct_s.substr(0, pct_s.size() - 1));
+    }
+    ChaosSpec spec;
+    {
+        const auto [ptr, ec] =
+            std::from_chars(rank_s.data(), rank_s.data() + rank_s.size(), spec.kill_rank);
+        if (ec != std::errc{} || ptr != rank_s.data() + rank_s.size() || spec.kill_rank < 0) {
+            return fail();
+        }
+    }
+    double pct = -1.0;
+    {
+        char* end = nullptr;
+        pct = std::strtod(pct_s.c_str(), &end);
+        if (pct_s.empty() || end != pct_s.c_str() + pct_s.size() || pct < 0.0 || pct > 100.0) {
+            return fail();
+        }
+    }
+    spec.at_fraction = pct / 100.0;
+    return spec;
+}
+
+ChaosSpec chaos_from_env(ChaosSpec fallback) {
+    const char* value = std::getenv("HDLS_CHAOS");
+    if (value == nullptr) {
+        return fallback;
+    }
+    try {
+        return parse_chaos(value);
+    } catch (const std::invalid_argument& e) {
+        throw std::invalid_argument(std::string("HDLS_CHAOS: ") + e.what());
+    }
+}
+
 minimpi::PinPolicy pin_from_env(minimpi::PinPolicy fallback) {
     const char* value = std::getenv("HDLS_PIN");
     if (value == nullptr) {

@@ -38,15 +38,25 @@
 ///     HDLS_JOB_QUEUE_DEPTH — JobService: bounded pending-job queue depth;
 ///                           submit() beyond it throws ErrorCode::Resource
 ///                           (default 16)
+///     HDLS_LEASE          — "1"/"on"/"true" enables lease-based fault
+///                           tolerance under MPI+MPI (docs/fault-tolerance.md)
+///     HDLS_LEASE_K        — lease-deadline multiplier over the chunk-time
+///                           EMA (a positive number, default 8)
+///     HDLS_HEARTBEAT_TIMEOUT_MS — failure-detector staleness timeout in ms
+///                           (default 1000)
+///     HDLS_CHAOS          — fault injection: "kill:<rank>@<pct>%" fail-stops
+///                           a rank at a loop-progress fraction (chaos tests)
 ///
 /// Malformed HDLS_SCHEDULE / HDLS_APPROACH / HDLS_TRACE fall back with a
 /// warning (mirroring how OpenMP runtimes treat bad OMP_SCHEDULE values);
-/// malformed HDLS_TOPOLOGY / HDLS_INTER_BACKEND / HDLS_PREFETCH /
-/// HDLS_METRICS / HDLS_METRICS_PERIOD_MS / HDLS_TRANSPORT / HDLS_SIMD /
-/// HDLS_PIN *throw* a one-line std::invalid_argument instead — a mis-shaped
-/// machine tree, an unknown backend or a typo'd toggle silently reverting
-/// to defaults would change what the run measures (or silently disable the
-/// observability the user asked for).
+/// every other malformed knob — HDLS_TOPOLOGY / HDLS_INTER_BACKEND /
+/// HDLS_PREFETCH / HDLS_METRICS / HDLS_METRICS_PERIOD_MS / HDLS_TRANSPORT /
+/// HDLS_SIMD / HDLS_PIN / HDLS_LEASE / HDLS_LEASE_K /
+/// HDLS_HEARTBEAT_TIMEOUT_MS / HDLS_CHAOS — *throws* a one-line
+/// std::invalid_argument instead — a mis-shaped machine tree, an unknown
+/// backend or a typo'd toggle silently reverting to defaults would change
+/// what the run measures (or silently disable the observability or fault
+/// tolerance the user asked for).
 
 #include <chrono>
 #include <optional>
@@ -157,6 +167,37 @@ namespace hdls::core {
 /// once). Returns `fallback` when unset; throws std::invalid_argument
 /// when set but not a non-negative integer.
 [[nodiscard]] int job_queue_depth_from_env(int fallback = 16);
+
+/// Reads HDLS_LEASE ("1"/"on"/"true"/"yes" enable, "0"/"off"/"false"/"no"
+/// disable, case-insensitive): lease-based fault tolerance for MPI+MPI
+/// runs. Returns `fallback` when unset; throws std::invalid_argument when
+/// set to anything else (no silent fallback — a typo'd toggle silently
+/// running without leases would change what a failure drill exercises).
+[[nodiscard]] bool lease_from_env(bool fallback = false);
+
+/// Reads HDLS_LEASE_K (a positive number): the lease-deadline multiplier
+/// over the worker's chunk-time EMA. Returns `fallback` when unset; throws
+/// std::invalid_argument when set but not a positive number.
+[[nodiscard]] double lease_k_from_env(double fallback = 8.0);
+
+/// Reads HDLS_HEARTBEAT_TIMEOUT_MS (a positive integer, milliseconds): how
+/// long a rank's heartbeat word may stay unchanged before the failure
+/// detector declares it dead. Returns `fallback` when unset; throws
+/// std::invalid_argument when set but not a positive integer.
+[[nodiscard]] std::chrono::milliseconds heartbeat_timeout_from_env(
+    std::chrono::milliseconds fallback = std::chrono::milliseconds(1000));
+
+/// Parses a chaos spec "kill:<rank>@<pct>%" (spaces allowed; the trailing
+/// '%' optional), e.g. "kill:1@50%": world rank 1 fail-stops once loop
+/// progress passes 50% of the iteration space. Throws
+/// std::invalid_argument with a one-line message on anything else.
+[[nodiscard]] ChaosSpec parse_chaos(std::string_view text);
+
+/// Reads HDLS_CHAOS. Returns `fallback` (default: no injection) when
+/// unset; throws std::invalid_argument when set but malformed (no silent
+/// fallback — a typo'd chaos spec silently running a healthy cluster would
+/// invalidate the whole drill).
+[[nodiscard]] ChaosSpec chaos_from_env(ChaosSpec fallback = ChaosSpec{});
 
 /// Reads HDLS_PIN ("none" | "compact" | "scatter", case-insensitive): the
 /// placement of leaf workers over the host's sockets. Returns `fallback`

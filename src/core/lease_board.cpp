@@ -1,0 +1,164 @@
+#include "core/lease_board.hpp"
+
+#include <algorithm>
+
+#include "metrics/metrics.hpp"
+
+namespace hdls::core {
+
+LeaseBoard::LeaseBoard(const minimpi::Comm& comm, double k, int slots)
+    : comm_(comm), k_(k), slots_(slots) {
+    if (slots < 1) {
+        throw minimpi::Error(minimpi::ErrorCode::InvalidArgument,
+                             "LeaseBoard: slots must be >= 1");
+    }
+    if (!(k > 0.0)) {
+        throw minimpi::Error(minimpi::ErrorCode::InvalidArgument,
+                             "LeaseBoard: deadline multiplier k must be > 0");
+    }
+    in_use_.assign(static_cast<std::size_t>(slots_), 0);
+    window_ = minimpi::Window::allocate_shared(
+        comm_, static_cast<std::size_t>(slots_) * kSlotCells * sizeof(std::int64_t));
+    // Every slot starts FREE at generation 0; written explicitly (the
+    // thread transport's arena is not guaranteed zeroed) and published by
+    // the barrier below.
+    for (int s = 0; s < slots_; ++s) {
+        for (std::size_t c = 0; c < kSlotCells; ++c) {
+            window_.atomic_write<std::int64_t>(0, comm_.rank(), cell(s, c));
+        }
+    }
+    window_.sync();
+    comm_.barrier();
+}
+
+std::int64_t LeaseBoard::deadline_ns() const noexcept {
+    constexpr std::int64_t kFloorNs = 100'000'000;  // 100 ms
+    const auto scaled = static_cast<std::int64_t>(k_ * ema_seconds_ * 1e9);
+    return now_ns() + std::max(scaled, kFloorNs);
+}
+
+void LeaseBoard::lease(std::int64_t start, std::int64_t size) {
+    const int me = comm_.rank();
+    for (int s = 0; s < slots_; ++s) {
+        if (in_use_[static_cast<std::size_t>(s)] != 0) {
+            continue;
+        }
+        const std::int64_t word = window_.atomic_read<std::int64_t>(me, cell(s, kState));
+        if (state_of(word) != kFree) {
+            // A fenced-out lease the claimer has not released yet; the
+            // slot returns once the claimer's CAS lands.
+            continue;
+        }
+        // Bounds and deadline first, then the publishing CAS: any rank
+        // that observes ACTIVE observes them too (acq_rel ordering).
+        window_.atomic_write<std::int64_t>(start, me, cell(s, kStart));
+        window_.atomic_write<std::int64_t>(size, me, cell(s, kSize));
+        window_.atomic_write<std::int64_t>(deadline_ns(), me, cell(s, kDeadline));
+        const std::int64_t next = pack(kActive, gen_of(word) + 1);
+        if (window_.compare_and_swap<std::int64_t>(word, next, me, cell(s, kState)) != word) {
+            continue;  // claimer released a sibling state concurrently; rescan
+        }
+        in_use_[static_cast<std::size_t>(s)] = 1;
+        records_[start] =
+            Record{s, gen_of(word) + 1, std::chrono::steady_clock::now()};
+        metrics::rt().lease_acquires->inc();
+        return;
+    }
+    throw minimpi::Error(minimpi::ErrorCode::Resource,
+                         "LeaseBoard: no free lease slot (more outstanding chunks than "
+                         "slots — executor bug)");
+}
+
+bool LeaseBoard::complete(std::int64_t start) {
+    const auto it = records_.find(start);
+    if (it == records_.end()) {
+        return true;  // not leased through this handle
+    }
+    const Record rec = it->second;
+    records_.erase(it);
+    in_use_[static_cast<std::size_t>(rec.slot)] = 0;
+    const std::int64_t expected = pack(kActive, rec.gen);
+    const std::int64_t freed = pack(kFree, rec.gen);
+    const std::int64_t prev = window_.compare_and_swap<std::int64_t>(
+        expected, freed, comm_.rank(), cell(rec.slot, kState));
+    if (prev != expected) {
+        // A sweeper moved the lease to RECLAIMED(g) first: the fence is
+        // lost, the execution must not be committed. The claimer's
+        // RECLAIMED -> FREE CAS will release the slot.
+        metrics::rt().lease_fence_losses->inc();
+        return false;
+    }
+    const double took = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - rec.acquired)
+                            .count();
+    ema_seconds_ = ema_seconds_ == 0.0 ? took : 0.7 * ema_seconds_ + 0.3 * took;
+    return true;
+}
+
+int LeaseBoard::sweep() {
+    int reclaimed = 0;
+    const std::int64_t now = now_ns();
+    for (int r = 0; r < comm_.size(); ++r) {
+        if (r == comm_.rank() || !comm_.is_dead(r)) {
+            continue;
+        }
+        for (int s = 0; s < slots_; ++s) {
+            const std::int64_t word = window_.atomic_read<std::int64_t>(r, cell(s, kState));
+            if (state_of(word) != kActive) {
+                continue;
+            }
+            if (now <= window_.atomic_read<std::int64_t>(r, cell(s, kDeadline))) {
+                continue;  // a live claimer may still be executing it
+            }
+            const std::int64_t next = pack(kReclaimed, gen_of(word));
+            if (window_.compare_and_swap<std::int64_t>(word, next, r, cell(s, kState)) ==
+                word) {
+                ++reclaimed;
+                metrics::rt().lease_reclaims->inc();
+            }
+        }
+    }
+    return reclaimed;
+}
+
+std::optional<LeaseBoard::Reclaimed> LeaseBoard::claim_one() {
+    for (int r = 0; r < comm_.size(); ++r) {
+        for (int s = 0; s < slots_; ++s) {
+            const std::int64_t word = window_.atomic_read<std::int64_t>(r, cell(s, kState));
+            if (state_of(word) != kReclaimed) {
+                continue;
+            }
+            const std::int64_t start = window_.atomic_read<std::int64_t>(r, cell(s, kStart));
+            const std::int64_t size = window_.atomic_read<std::int64_t>(r, cell(s, kSize));
+            const std::int64_t freed = pack(kFree, gen_of(word));
+            if (window_.compare_and_swap<std::int64_t>(word, freed, r, cell(s, kState)) ==
+                word) {
+                return Reclaimed{start, size};  // single winner across survivors
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+bool LeaseBoard::quiescent() const {
+    for (int r = 0; r < comm_.size(); ++r) {
+        for (int s = 0; s < slots_; ++s) {
+            if (state_of(window_.atomic_read<std::int64_t>(r, cell(s, kState))) != kFree) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+void LeaseBoard::abandon_all() noexcept {
+    records_.clear();
+    std::fill(in_use_.begin(), in_use_.end(), 0);
+}
+
+void LeaseBoard::free() {
+    comm_.barrier();
+    window_.free();
+}
+
+}  // namespace hdls::core

@@ -1,13 +1,17 @@
 #include "core/mpi_mpi_executor.hpp"
 
 #include <chrono>
+#include <memory>
+#include <thread>
 
 #include "core/hierarchy.hpp"
+#include "core/lease_board.hpp"
 #include "core/sharded_queue.hpp"
 #include "core/work_source.hpp"
 #include "dls/adaptive.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/watchdog.hpp"
+#include "minimpi/liveness.hpp"
 
 namespace hdls::core {
 
@@ -32,6 +36,30 @@ WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierCo
     // chain.
     Hierarchy hier = build_hierarchy(world, n, rh, cfg, tracer, /*include_leaf=*/true);
     ComposedWorkSource& source = *hier.top_composed();
+
+    // Lease-based fault tolerance (HierConfig::lease): every chunk this
+    // rank acquires is leased on the shared board before execution and
+    // fenced at completion; the failure detector watches peer heartbeats
+    // so a dead rank's leases can be reclaimed and re-executed in the
+    // drain loop below. Both constructions are collective.
+    std::unique_ptr<LeaseBoard> board;
+    std::unique_ptr<minimpi::FailureDetector> detector;
+    if (cfg.lease) {
+        board = std::make_unique<LeaseBoard>(world, cfg.lease_k);
+        detector = std::make_unique<minimpi::FailureDetector>(
+            world, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       cfg.heartbeat_timeout));
+        source.set_lease_board(board.get());
+    }
+    // Fault injection (HDLS_CHAOS="kill:<rank>@<pct>%"): this rank
+    // fail-stops at the first chunk boundary past the progress trigger —
+    // leases abandoned, heartbeat silenced, loop left. Boundary placement
+    // means no refill announcement is ever left dangling.
+    const bool chaos_me =
+        cfg.chaos.enabled() && cfg.chaos.kill_rank == world.rank();
+    const auto kill_at = static_cast<std::int64_t>(
+        cfg.chaos.at_fraction * static_cast<double>(n));
+    bool killed = false;
 
     WorkerStats stats;
     stats.node = ctx.node();
@@ -110,6 +138,31 @@ WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierCo
 
     bool cancelled = false;
     while (const auto sub = source.try_acquire()) {
+        // Chaos seam: fail-stop at the first own chunk whose start crosses
+        // the progress trigger. The chunk just acquired (and anything in
+        // the prefetch slot) stays leased-but-ACTIVE — exactly the state a
+        // machine death leaves behind — and survivors reclaim it. The
+        // victim stops beating here and only rejoins for the collective
+        // teardown barriers (the in-process fail-stop approximation).
+        if (chaos_me && !killed && sub->start >= kill_at) {
+            killed = true;
+            // A machine death also takes down whatever sits undispatched in
+            // the victim's node-local leaf queue; if this rank is the
+            // node's only worker nobody can pop it afterwards. Convert that
+            // pending into leases first so the abandonment below puts every
+            // last iteration under the board's exactly-once reclamation.
+            source.abandon_pending();
+            board->abandon_all();
+            break;
+        }
+        if (board != nullptr) {
+            // Liveness: one heartbeat tick per chunk boundary, plus a
+            // detection round so a mid-run death switches the sharded
+            // root's steal policy (whole-remainder from dead hosts)
+            // without waiting for the drain.
+            world.beat();
+            detector->poll();
+        }
         // Multi-tenant gate: the chunk is acquired (the chain's refill /
         // termination protocol is done), now wait for a fair-share slot
         // before burning CPU on it. A refusal means the job was cancelled:
@@ -126,13 +179,21 @@ WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierCo
         body(sub->start, sub->start + sub->size);
         const Clock::time_point b1 = Clock::now();
         const double busy = std::chrono::duration<double>(b1 - b0).count();
-        stats.busy_seconds += busy;
-        stats.iterations += sub->size;
-        ++stats.chunks;
-        m.exec_chunks->inc();
-        m.exec_iterations->inc(static_cast<std::uint64_t>(sub->size));
-        m.chunk_exec_ns->observe(static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(b1 - b0).count()));
+        // The completion fence: under lease mode the execution counts only
+        // if this rank still owns the lease. A loss means a sweeper
+        // reclaimed the chunk (this rank was suspected dead mid-body) and
+        // a survivor owns it now — the work above is discarded rather than
+        // double-committed.
+        const bool committed = board == nullptr || board->complete(sub->start);
+        if (committed) {
+            stats.busy_seconds += busy;
+            stats.iterations += sub->size;
+            ++stats.chunks;
+            m.exec_chunks->inc();
+            m.exec_iterations->inc(static_cast<std::uint64_t>(sub->size));
+            m.chunk_exec_ns->observe(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(b1 - b0).count()));
+        }
         // Heartbeat for the stall watchdog (a relaxed pointer load when
         // none is installed). Reading the prefetch slot is safe here: this
         // thread is the only one that touches it.
@@ -145,7 +206,7 @@ WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierCo
         if (hooks.gate != nullptr) {
             hooks.gate->end_chunk(world.rank(), sub->size);
         }
-        if (feedback) {
+        if (feedback && committed) {
             pending_iters += sub->size;
             pending_busy += busy;
             pending_overhead += std::chrono::duration<double>(b0 - sched_mark).count();
@@ -153,6 +214,51 @@ WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierCo
         }
     }
     (void)cancelled;  // the partial WorkerStats already tell the story
+
+    // Reclamation drain: a survivor's own leases are all committed by now
+    // (each chunk is fenced right after its body), but peers may still
+    // hold ACTIVE leases — live ones finish on their own; dead ones go
+    // stale, get swept to RECLAIMED and are re-executed here under a fresh
+    // lease, exactly once (the claim CAS has a single winner). The loop
+    // ends when every slot board-wide is FREE: every acquired chunk of the
+    // run is then committed. Survivors keep beating so they never suspect
+    // each other while waiting.
+    if (board != nullptr && !killed && !cancelled) {
+        while (!board->quiescent()) {
+            world.beat();
+            world.poll_abort();
+            detector->poll();
+            m.ranks_dead->set(world.size() - world.alive());
+            board->sweep();
+            while (const auto rc = board->claim_one()) {
+                board->lease(rc->start, rc->size);
+                if (tracing) {
+                    tracer.instant(trace::EventKind::Reclaim, tracer.now(), rc->start,
+                                   rc->size);
+                    tracer.instant(trace::EventKind::ChunkExecBegin, tracer.now(),
+                                   rc->start, rc->start + rc->size);
+                }
+                const Clock::time_point b0 = Clock::now();
+                body(rc->start, rc->start + rc->size);
+                const Clock::time_point b1 = Clock::now();
+                if (tracing) {
+                    tracer.instant(trace::EventKind::ChunkExecEnd, tracer.now(), rc->start,
+                                   rc->start + rc->size);
+                }
+                if (board->complete(rc->start)) {
+                    stats.busy_seconds += std::chrono::duration<double>(b1 - b0).count();
+                    stats.iterations += rc->size;
+                    ++stats.chunks;
+                    m.exec_chunks->inc();
+                    m.exec_iterations->inc(static_cast<std::uint64_t>(rc->size));
+                }
+            }
+            metrics::worker_beat(world.rank(), source.level(), -1,
+                                 source.has_prefetched(), 0.0, hooks.watchdog);
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+    }
+
     flush_feedback();  // final accounting for chunks executed since the last refill
     metrics::worker_leave(world.rank(), hooks.watchdog);
     hier.finish();
@@ -164,6 +270,9 @@ WorkerStats run_mpi_mpi_rank(minimpi::Context& ctx, std::int64_t n, const HierCo
     // by hand first; the guard's second clear is an idempotent no-op.
     if (wd != nullptr) {
         wd->clear_shard_probe();
+    }
+    if (board != nullptr) {
+        board->free();  // collective; a chaos victim rejoins here
     }
     hier.free();  // every level's queue, then the root
     return stats;

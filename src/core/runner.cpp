@@ -17,6 +17,7 @@
 #include "minimpi/minimpi.hpp"
 #include "ompsim/schedule.hpp"
 #include "trace/recorder.hpp"
+#include "util/log.hpp"
 
 namespace hdls::core {
 
@@ -151,6 +152,38 @@ ExecutionReport run_hierarchical(const ClusterShape& shape, Approach approach,
     HierConfig effective = cfg;
     effective.simd = simd_mode;
     effective.pin = pin;
+    // Lease-based fault tolerance + fault injection (strict parses, all
+    // resolved before any rank launches): an explicit HierConfig choice
+    // wins, otherwise the HDLS_LEASE / HDLS_LEASE_K /
+    // HDLS_HEARTBEAT_TIMEOUT_MS / HDLS_CHAOS environment.
+    effective.lease = cfg.lease || lease_from_env();
+    effective.lease_k = lease_k_from_env(cfg.lease_k);
+    effective.heartbeat_timeout = heartbeat_timeout_from_env(cfg.heartbeat_timeout);
+    effective.chaos = cfg.chaos.enabled() ? cfg.chaos : chaos_from_env();
+    if (effective.lease && approach != Approach::MpiMpi) {
+        util::log_warn(
+            "run_hierarchical: lease-based fault tolerance is MPI+MPI only; "
+            "ignoring HDLS_LEASE under MPI+OpenMP");
+        effective.lease = false;
+    }
+    if (effective.chaos.enabled()) {
+        if (approach != Approach::MpiMpi) {
+            throw std::invalid_argument(
+                "run_hierarchical: HDLS_CHAOS fault injection requires the MPI+MPI "
+                "approach (the MPI+OpenMP baseline has no failure handling to drill)");
+        }
+        if (!effective.lease) {
+            throw std::invalid_argument(
+                "run_hierarchical: HDLS_CHAOS requires HDLS_LEASE=1 — killing a rank "
+                "without lease reclamation would silently lose iterations");
+        }
+        if (effective.chaos.kill_rank >= shape.total_workers()) {
+            throw std::invalid_argument(
+                "run_hierarchical: HDLS_CHAOS kill rank " +
+                std::to_string(effective.chaos.kill_rank) + " is outside the world (" +
+                std::to_string(shape.total_workers()) + " ranks)");
+        }
+    }
     // A pinned WF run with no explicit weights gets measured ones: pinning
     // fixes which CPU each worker occupies, so per-CPU throughput probes
     // are meaningful per-node speeds. Unpinned runs keep WF's equal-weights

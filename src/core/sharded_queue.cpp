@@ -136,11 +136,19 @@ std::optional<ShardedInterQueue::Chunk> ShardedInterQueue::try_acquire() {
             return std::nullopt;
         }
         const int host = host_of_[static_cast<std::size_t>(victim)];
+        // A dead host's shard has no owner left to drain it: take the
+        // whole remainder in one carve instead of halving — membership
+        // loss re-apportions the shard to the survivor outright (the
+        // fault-tolerance path; host death is declared by the heartbeat
+        // failure detector and is sticky). The cells live in the shared
+        // window, which outlives the dead rank's thread.
+        const bool host_dead = comm_.is_dead(host);
         const std::int64_t before =
             window_.atomic_update<std::int64_t>(host, kRemaining, [&](std::int64_t r) {
-                return r - dls::steal_amount(r, min_chunk_);
+                return r - (host_dead ? r : dls::steal_amount(r, min_chunk_));
             });
-        const std::int64_t take = dls::steal_amount(before, min_chunk_);
+        const std::int64_t take =
+            host_dead ? before : dls::steal_amount(before, min_chunk_);
         if (take <= 0) {
             continue;  // victim drained since the scan; rescan
         }

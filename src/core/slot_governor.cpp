@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "dls/sharding.hpp"
@@ -12,10 +13,28 @@ namespace {
 using Clock = std::chrono::steady_clock;
 }  // namespace
 
-SlotGovernor::SlotGovernor(int slots) : slots_(slots), last_advance_(Clock::now()) {
+SlotGovernor::SlotGovernor(int slots)
+    : slots_(slots), capacity_(slots), last_advance_(Clock::now()) {
     if (slots < 1) {
         throw std::invalid_argument("SlotGovernor: need at least one slot");
     }
+}
+
+void SlotGovernor::set_capacity(int live_slots) {
+    if (live_slots < 1 || live_slots > slots_) {
+        throw std::invalid_argument("SlotGovernor::set_capacity: live slots must be in [1, " +
+                                    std::to_string(slots_) + "]");
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    advance_locked(Clock::now());
+    capacity_ = live_slots;
+    apportion_locked();
+    cv_.notify_all();
+}
+
+int SlotGovernor::capacity() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_;
 }
 
 std::uint64_t SlotGovernor::add_job(double priority, std::int64_t remaining_iterations) {
@@ -153,7 +172,7 @@ void SlotGovernor::apportion_locked() {
         order.push_back(&j);
     }
     const std::vector<std::int64_t> shares =
-        dls::shard_partition(static_cast<std::int64_t>(slots_), weights, n);
+        dls::shard_partition(static_cast<std::int64_t>(capacity_), weights, n);
     for (int i = 0; i < n; ++i) {
         order[static_cast<std::size_t>(i)]->entitlement =
             static_cast<int>(shares[static_cast<std::size_t>(i)]);
@@ -169,7 +188,7 @@ void SlotGovernor::apportion_locked() {
             live.push_back(j);
         }
     }
-    if (!live.empty() && static_cast<int>(live.size()) <= slots_) {
+    if (!live.empty() && static_cast<int>(live.size()) <= capacity_) {
         for (Job* starved : live) {
             if (starved->entitlement > 0) {
                 continue;

@@ -73,6 +73,16 @@ public:
     };
     [[nodiscard]] JobShare share(std::uint64_t job) const;
 
+    /// Membership loss/recovery: caps the apportionable pool at
+    /// `live_slots` (1..slots()) and re-apportions every job's entitlement
+    /// over the survivors immediately — the JobService analogue of
+    /// shard_partition re-running over surviving ranks when the failure
+    /// detector removes a worker. Jobs over their shrunk entitlement
+    /// release slots at their next chunk boundary (begin_chunk blocks);
+    /// in-flight chunks are never interrupted.
+    void set_capacity(int live_slots);
+    [[nodiscard]] int capacity() const;
+
     [[nodiscard]] int slots() const noexcept { return slots_; }
     [[nodiscard]] int active_jobs() const;
 
@@ -118,6 +128,9 @@ private:
     void apportion_locked();
 
     const int slots_;
+    /// Apportionable slots right now (<= slots_; shrunk by set_capacity
+    /// on membership loss).
+    int capacity_;
     mutable std::mutex mutex_;
     std::condition_variable cv_;
     std::map<std::uint64_t, Job> jobs_;

@@ -2,6 +2,7 @@
 /// \file types.hpp
 /// Public configuration types of the hierarchical DLS library.
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -44,6 +45,21 @@ struct ClusterShape {
     int workers_per_node = 16;
 
     [[nodiscard]] int total_workers() const noexcept { return nodes * workers_per_node; }
+};
+
+/// Fault-injection spec (HDLS_CHAOS="kill:<rank>@<pct>%"): rank
+/// `kill_rank` fail-stops — abandons its leases, stops heartbeating and
+/// leaves the scheduling loop — once loop progress passes `at_fraction`
+/// of the iteration space. The in-process approximation of a machine
+/// death: the rank still joins the final collective teardown (a truly
+/// absent process is item 1's multi-process launch), but contributes
+/// nothing to the loop from the kill point on. MPI+MPI only; see
+/// docs/fault-tolerance.md.
+struct ChaosSpec {
+    int kill_rank = -1;        ///< world rank to kill (-1 = no injection)
+    double at_fraction = 0.5;  ///< loop-progress trigger in [0, 1]
+
+    [[nodiscard]] bool enabled() const noexcept { return kill_rank >= 0; }
 };
 
 /// The scheduling combination "X + Y" of the paper: X at the inter-node
@@ -117,6 +133,23 @@ struct HierConfig {
     /// backend is bit-identical, so this knob changes speed, never results.
     /// Unset defers to HDLS_SIMD (default: auto).
     std::optional<simd::SimdMode> simd;
+    /// Lease-based fault tolerance (MPI+MPI): every chunk handed to a
+    /// worker is leased on a shared lease board (owner + deadline = k x
+    /// the worker's chunk-time EMA); a rank whose heartbeat word goes
+    /// stale is declared dead and its unfinished leases are reclaimed and
+    /// re-executed by survivors, with a completion fence guaranteeing
+    /// exactly-once commitment. Env: HDLS_LEASE. Off by default — the
+    /// lease write/CAS per chunk is only worth paying when ranks can die.
+    bool lease = false;
+    /// Lease-deadline multiplier: deadline = now + max(k x chunk-time EMA,
+    /// a 100 ms floor). Env: HDLS_LEASE_K.
+    double lease_k = 8.0;
+    /// Failure-detector timeout: a rank whose heartbeat word has not moved
+    /// for this long is declared dead. Env: HDLS_HEARTBEAT_TIMEOUT_MS.
+    std::chrono::milliseconds heartbeat_timeout{1000};
+    /// Fault injection for chaos testing (HDLS_CHAOS); disabled unless
+    /// kill_rank >= 0. Requires lease mode to keep the run exactly-once.
+    ChaosSpec chaos;
     /// Thread/rank placement over the host's sockets (minimpi::PinPolicy):
     /// Compact fills a socket before spilling, Scatter round-robins across
     /// sockets, None leaves placement to the OS. Under MPI+OpenMP the leaf

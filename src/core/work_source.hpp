@@ -20,6 +20,7 @@
 #include <optional>
 #include <thread>
 
+#include "core/lease_board.hpp"
 #include "core/local_queue.hpp"
 #include "dls/technique.hpp"
 #include "metrics/metrics.hpp"
@@ -121,6 +122,45 @@ public:
     /// before termination can be reached).
     void set_prefetch(bool on) { prefetch_ = on; }
     [[nodiscard]] bool prefetch_enabled() const noexcept { return prefetch_; }
+
+    /// Attaches the fault-tolerance lease board (HierConfig::lease; the
+    /// chain's top source only — the handle whose chunks the executor
+    /// runs). Every sub-chunk is leased the moment it is carved from the
+    /// level queue — *including* prefetch-slot fills, so a chunk sitting
+    /// in the slot of a rank that dies is reclaimed like any other. The
+    /// executor completes the lease after the body (LeaseBoard::complete).
+    void set_lease_board(LeaseBoard* board) noexcept { lease_board_ = board; }
+
+    /// Fail-stop support (the chaos drill): converts every sub-chunk still
+    /// visible in this level's queue into a lease without executing it.
+    /// A dying rank's level queue may hold refilled-but-undispatched work
+    /// that only its own node's workers can see — on a whole-node loss
+    /// that work would be stranded, because the leaf window's communicator
+    /// is node-scoped and survivors elsewhere cannot pop it. Leasing it
+    /// here moves it under the board's exactly-once reclamation before the
+    /// owner abandons its leases. Adjacent sub-chunks coalesce into single
+    /// leases so the board's slot budget is not exhausted by a long queue.
+    void abandon_pending() {
+        if (lease_board_ == nullptr) {
+            return;
+        }
+        std::int64_t run_begin = -1;
+        std::int64_t run_end = -1;
+        while (const auto sub = local_.try_pop(nullptr)) {
+            if (run_begin >= 0 && sub->begin == run_end) {
+                run_end = sub->end;
+                continue;
+            }
+            if (run_begin >= 0) {
+                lease_board_->lease(run_begin, run_end - run_begin);
+            }
+            run_begin = sub->begin;
+            run_end = sub->end;
+        }
+        if (run_begin >= 0) {
+            lease_board_->lease(run_begin, run_end - run_begin);
+        }
+    }
 
     [[nodiscard]] std::optional<Chunk> try_acquire() override {
         if (prefetch_ && slot_) {
@@ -376,7 +416,12 @@ public:
     }
 
 private:
-    [[nodiscard]] Chunk as_chunk(const LevelQueue::SubChunk& sub) const noexcept {
+    [[nodiscard]] Chunk as_chunk(const LevelQueue::SubChunk& sub) const {
+        // Lease before the chunk can reach the caller (or the prefetch
+        // slot): from here on a dying owner's chunk is reclaimable.
+        if (lease_board_ != nullptr) {
+            lease_board_->lease(sub.begin, sub.end - sub.begin);
+        }
         // The sub-chunk index doubles as this level's step id.
         return Chunk{sub.begin, sub.end - sub.begin, local_.popped() - 1, sub.stolen};
     }
@@ -420,6 +465,9 @@ private:
     bool prefetch_ = false;
     std::optional<Chunk> slot_;
     double slot_fill_seconds_ = 0.0;
+    /// Fault-tolerance lease board (null = lease mode off; see
+    /// set_lease_board).
+    LeaseBoard* lease_board_ = nullptr;
     // Resolved metric handles (see constructor).
     metrics::Counter* m_pops_;
     metrics::Counter* m_refills_;

@@ -295,6 +295,16 @@ RuntimeMetrics make_runtime_metrics() {
     m.workers_active =
         &reg.gauge("hdls_workers_active", "Workers currently registered as running");
 
+    m.lease_acquires =
+        &reg.counter("hdls_lease_acquires_total", "Chunks leased under lease mode");
+    m.lease_reclaims = &reg.counter("hdls_lease_reclaims_total",
+                                    "Leases reclaimed from dead owners");
+    m.lease_fence_losses =
+        &reg.counter("hdls_lease_fence_losses_total",
+                     "Chunk completions that lost the lease fence (not committed)");
+    m.ranks_dead =
+        &reg.gauge("hdls_ranks_dead", "Ranks declared dead by the failure detector");
+
     m.jobs_submitted =
         &reg.counter("hdls_jobs_submitted_total", "Jobs accepted by JobService::submit");
     m.jobs_rejected = &reg.counter("hdls_jobs_rejected_total",

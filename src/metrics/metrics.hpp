@@ -313,6 +313,13 @@ struct RuntimeMetrics {
     Counter* watchdog_stalls;
     Gauge* workers_active;
 
+    // core::LeaseBoard — lease-based fault tolerance (docs/fault-tolerance.md).
+    Counter* lease_acquires;      ///< chunks leased (acquired under lease mode)
+    Counter* lease_reclaims;      ///< leases reclaimed from dead owners
+    Counter* lease_fence_losses;  ///< completions that lost the fence (lease
+                                  ///< already reclaimed; iterations not committed)
+    Gauge* ranks_dead;            ///< ranks declared dead by the failure detector
+
     // core::JobService — the multi-tenant job stream.
     Counter* jobs_submitted;      ///< jobs accepted by submit()
     Counter* jobs_rejected;       ///< submit() overflows (ErrorCode::Resource)

@@ -80,6 +80,37 @@ int Comm::node_of(int comm_rank) const {
     return state_->topology.node_of(world_rank_of(comm_rank));
 }
 
+// --------------------------------------------------------------- liveness --
+
+void Comm::beat() const {
+    require_valid();
+    state_->transport->beat(world_rank_of(rank_));
+}
+
+std::uint64_t Comm::heartbeat_of(int comm_rank) const {
+    require_valid();
+    return state_->transport->heartbeat(world_rank_of(comm_rank));
+}
+
+void Comm::mark_dead(int comm_rank) const {
+    require_valid();
+    state_->transport->mark_dead(world_rank_of(comm_rank));
+}
+
+bool Comm::is_dead(int comm_rank) const {
+    require_valid();
+    return state_->transport->is_dead(world_rank_of(comm_rank));
+}
+
+int Comm::alive() const {
+    require_valid();
+    int live = 0;
+    for (int r = 0; r < size(); ++r) {
+        live += is_dead(r) ? 0 : 1;
+    }
+    return live;
+}
+
 // -------------------------------------------------------------------- p2p --
 
 void Comm::send_bytes(const void* data, std::size_t bytes, int dst, int tag) const {

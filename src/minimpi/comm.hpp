@@ -262,6 +262,34 @@ public:
     /// Node id (in the runtime topology) hosting a rank of this comm.
     [[nodiscard]] int node_of(int comm_rank) const;
 
+    // ------------------------------------------------------- liveness ----
+    // Per-rank heartbeat words and the sticky dead set, owned by the
+    // transport (see transport.hpp). These back lease-based fault
+    // tolerance (core::LeaseBoard, docs/fault-tolerance.md): workers bump
+    // their own word at chunk boundaries, a failure detector declares a
+    // rank whose word stops moving dead, and the lease layer reclaims the
+    // dead rank's unfinished chunks. Ranks are *this communicator's* ranks
+    // (translated to world ranks internally).
+
+    /// Bumps this rank's heartbeat counter.
+    void beat() const;
+
+    /// Reads a member's heartbeat counter.
+    [[nodiscard]] std::uint64_t heartbeat_of(int comm_rank) const;
+
+    /// Declares a member dead (sticky for the rest of the run).
+    void mark_dead(int comm_rank) const;
+
+    [[nodiscard]] bool is_dead(int comm_rank) const;
+
+    /// Members not marked dead.
+    [[nodiscard]] int alive() const;
+
+    /// Polls the runtime abort flag and throws ErrorCode::Aborted when a
+    /// peer failed — the check every lease-layer wait loop interleaves so
+    /// it can never outlive an aborting team.
+    void poll_abort() const { require_valid(); state_->check_abort(); }
+
 private:
     friend class Context;
     friend class Runtime;

@@ -30,6 +30,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 
 #include "minimpi/mailbox.hpp"
@@ -108,6 +109,29 @@ public:
     /// *process* mapping the segment would observe it too). The runtime
     /// flag itself (RuntimeState::abort) is set by the caller first.
     virtual void signal_abort() noexcept = 0;
+
+    // ------------------------------------------------------- liveness ----
+    // Per-rank liveness words backing lease-based fault tolerance
+    // (docs/fault-tolerance.md): a monotonic heartbeat counter each rank
+    // bumps at chunk boundaries, and a sticky dead set the failure
+    // detector raises once a counter stops moving. On the shm transport
+    // both live inside the segment (one cache line per rank, next to the
+    // control block), where a peer *process* mapping the segment would
+    // observe them too; the thread transport keeps padded heap atomics.
+
+    /// Bumps `world_rank`'s heartbeat counter (relaxed fetch_add).
+    virtual void beat(int world_rank) noexcept = 0;
+
+    /// Reads `world_rank`'s heartbeat counter.
+    [[nodiscard]] virtual std::uint64_t heartbeat(int world_rank) noexcept = 0;
+
+    /// Declares `world_rank` dead. Sticky: a rank once marked stays dead
+    /// for the remainder of the run (there is no resurrection protocol —
+    /// a late completion by a falsely-suspected rank is fenced off at the
+    /// lease layer instead).
+    virtual void mark_dead(int world_rank) noexcept = 0;
+
+    [[nodiscard]] virtual bool is_dead(int world_rank) noexcept = 0;
 };
 
 [[nodiscard]] std::unique_ptr<Transport> make_transport(TransportKind kind, int world_size);

@@ -63,6 +63,21 @@ struct ShmControl {
     std::uint64_t arena_end = 0;
 };
 
+/// One rank's liveness line (see Transport::beat): heartbeat counter +
+/// sticky dead flag, one cache line per rank so peers polling different
+/// ranks never contend.
+struct alignas(64) ShmLiveLine {
+    std::atomic<std::uint64_t> beats{0};
+    std::atomic<std::uint32_t> dead{0};
+};
+
+namespace {
+[[nodiscard]] ShmLiveLine& live_line(std::byte* base, int rank) noexcept {
+    return *reinterpret_cast<ShmLiveLine*>(base +
+                                           static_cast<std::size_t>(rank) * sizeof(ShmLiveLine));
+}
+}  // namespace
+
 /// One message slot. Head slots are linked into either the mailbox's
 /// order list (head/tail, via `next`) or the free list; a payload larger
 /// than one slot continues into chained continuation slots (via `cont`),
@@ -362,21 +377,44 @@ void ShmWindowStorage::unlock(int rank, LockType type) noexcept {
 
 ShmTransport::ShmTransport(int world_size) {
     const std::size_t control_region = align_up64(sizeof(ShmControl));
+    const std::size_t live_region = static_cast<std::size_t>(world_size) * sizeof(ShmLiveLine);
     const std::size_t mailbox_region = align_up64(sizeof(ShmMailboxShared));
+    const std::size_t mailbox_base = control_region + live_region;
     const std::size_t arena_base =
-        control_region + static_cast<std::size_t>(world_size) * mailbox_region;
+        mailbox_base + static_cast<std::size_t>(world_size) * mailbox_region;
     segment_ = std::make_shared<ShmSegment>(arena_base + kShmWindowArenaBytes);
 
     control_ = new (segment_->data()) ShmControl{};
     control_->arena_next.store(arena_base, std::memory_order_relaxed);
     control_->arena_end = arena_base + kShmWindowArenaBytes;
 
+    live_ = segment_->data() + control_region;
+    for (int r = 0; r < world_size; ++r) {
+        new (live_ + static_cast<std::size_t>(r) * sizeof(ShmLiveLine)) ShmLiveLine{};
+    }
+
     mailboxes_.reserve(static_cast<std::size_t>(world_size));
     for (int r = 0; r < world_size; ++r) {
-        auto* shared = new (segment_->data() + control_region +
+        auto* shared = new (segment_->data() + mailbox_base +
                             static_cast<std::size_t>(r) * mailbox_region) ShmMailboxShared;
         mailboxes_.push_back(std::make_unique<ShmMailbox>(shared));
     }
+}
+
+void ShmTransport::beat(int world_rank) noexcept {
+    live_line(live_, world_rank).beats.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t ShmTransport::heartbeat(int world_rank) noexcept {
+    return live_line(live_, world_rank).beats.load(std::memory_order_acquire);
+}
+
+void ShmTransport::mark_dead(int world_rank) noexcept {
+    live_line(live_, world_rank).dead.store(1, std::memory_order_release);
+}
+
+bool ShmTransport::is_dead(int world_rank) noexcept {
+    return live_line(live_, world_rank).dead.load(std::memory_order_acquire) != 0;
 }
 
 std::unique_ptr<WindowStorage> ShmTransport::allocate_window(std::size_t total_bytes,

@@ -112,9 +112,18 @@ public:
                                                                  int ranks) override;
     void signal_abort() noexcept override;
 
+    void beat(int world_rank) noexcept override;
+    [[nodiscard]] std::uint64_t heartbeat(int world_rank) noexcept override;
+    void mark_dead(int world_rank) noexcept override;
+    [[nodiscard]] bool is_dead(int world_rank) noexcept override;
+
 private:
     std::shared_ptr<ShmSegment> segment_;
     ShmControl* control_ = nullptr;
+    /// Per-rank liveness lines inside the segment, right after the control
+    /// block (a peer process mapping the segment observes heartbeats and
+    /// the dead set exactly like the in-process ranks do).
+    std::byte* live_ = nullptr;
     std::vector<std::unique_ptr<ShmMailbox>> mailboxes_;
 };
 

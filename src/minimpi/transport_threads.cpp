@@ -95,7 +95,8 @@ void ThreadWindowStorage::unlock(int rank, LockType type) noexcept {
 
 // -------------------------------------------------------- ThreadTransport --
 
-ThreadTransport::ThreadTransport(int world_size) {
+ThreadTransport::ThreadTransport(int world_size)
+    : live_(std::make_unique<LiveWord[]>(static_cast<std::size_t>(world_size))) {
     mailboxes_.reserve(static_cast<std::size_t>(world_size));
     for (int r = 0; r < world_size; ++r) {
         mailboxes_.push_back(std::make_unique<ThreadMailbox>());

@@ -7,7 +7,9 @@
 /// may be released from any thread, so the lock table cannot be OS
 /// rwlocks). Not part of the public API.
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <vector>
@@ -77,8 +79,32 @@ public:
                                                                  int ranks) override;
     void signal_abort() noexcept override;
 
+    void beat(int world_rank) noexcept override {
+        live_[static_cast<std::size_t>(world_rank)].beats.fetch_add(
+            1, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t heartbeat(int world_rank) noexcept override {
+        return live_[static_cast<std::size_t>(world_rank)].beats.load(
+            std::memory_order_acquire);
+    }
+    void mark_dead(int world_rank) noexcept override {
+        live_[static_cast<std::size_t>(world_rank)].dead.store(1, std::memory_order_release);
+    }
+    [[nodiscard]] bool is_dead(int world_rank) noexcept override {
+        return live_[static_cast<std::size_t>(world_rank)].dead.load(
+                   std::memory_order_acquire) != 0;
+    }
+
 private:
+    /// One liveness line per rank: the heartbeat counter plus the sticky
+    /// dead flag, padded so peers polling different ranks never share.
+    struct alignas(64) LiveWord {
+        std::atomic<std::uint64_t> beats{0};
+        std::atomic<std::uint32_t> dead{0};
+    };
+
     std::vector<std::unique_ptr<ThreadMailbox>> mailboxes_;
+    std::unique_ptr<LiveWord[]> live_;
 };
 
 }  // namespace minimpi::detail

@@ -74,6 +74,21 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
         nr.clock.assign(static_cast<std::size_t>(team), 0.0);
     }
 
+    // Fail-stop injection (SimConfig::failure): the kill fires at the
+    // first node round after `trigger_iters` iterations were fetched; the
+    // dead node's team leaves at its next round boundary (the in-flight
+    // chunk's workshare + barrier complete first — Figure 2 has no
+    // preemption point inside the construct). Nothing is reclaimed: the
+    // baseline keeps no node-local queue, so the unfetched remainder simply
+    // drains through the surviving masters.
+    const SimFailure& fail = config.failure;
+    bool failure_armed = fail.enabled();
+    const auto trigger_iters =
+        std::min<std::int64_t>(n, static_cast<std::int64_t>(
+                                      fail.at_fraction * static_cast<double>(n)));
+    std::int64_t assigned = 0;
+    std::vector<char> node_dead(static_cast<std::size_t>(cluster.nodes), 0);
+
     const auto worker_of = [&](int node, int tid) -> SimWorker& {
         return report.workers[static_cast<std::size_t>(node * team + tid)];
     };
@@ -224,6 +239,25 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
         NodeRun& nr = nodes[static_cast<std::size_t>(ev.node)];
         SimWorker& master = worker_of(ev.node, 0);
 
+        if (failure_armed && assigned >= trigger_iters) {
+            failure_armed = false;
+            node_dead[static_cast<std::size_t>(fail.node)] = 1;
+        }
+        if (node_dead[static_cast<std::size_t>(ev.node)] != 0) {
+            // The killed node's team fail-stops at the round boundary; its
+            // threads' clocks are already joined by the last barrier.
+            for (int tid = 0; tid < team; ++tid) {
+                worker_of(ev.node, tid).finish = nr.clock[static_cast<std::size_t>(tid)];
+                auto& tracer = engine_trace.tracer(ev.node * team + tid);
+                if (tracer.enabled()) {
+                    tracer.instant(trace::EventKind::Terminate,
+                                   nr.clock[static_cast<std::size_t>(tid)]);
+                }
+            }
+            ++finished_nodes;
+            continue;
+        }
+
         // Master (thread 0) fetches the next chunk: MPI_THREAD_FUNNELED.
         const double t0 = nr.clock[0];
         auto& master_tracer = engine_trace.tracer(ev.node * team);
@@ -261,6 +295,7 @@ SimReport simulate_hybrid_barrier(const ClusterSpec& cluster, const SimConfig& c
             } else {
                 chunk = std::pair{take->start, take->size};
                 fetch_overhead = done - t0;
+                assigned += take->size;
                 ++master.global_refills;
                 if (master_tracer.enabled()) {
                     // Prefetched fetches keep the physical flight time in

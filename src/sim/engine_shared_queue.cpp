@@ -104,6 +104,18 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
     // known wake-up time (nowait non-masters): the natural software poll.
     const double poll_quantum = std::max(costs.lock_poll_s(), 1e-6);
 
+    // Fail-stop injection (SimConfig::failure): while armed, the kill fires
+    // at the first event after `trigger_iters` iterations have been
+    // assigned to workers. Iterations count as assigned at sub-chunk
+    // allocation (pop_visible), the sim's chunk boundary.
+    const SimFailure& fail = config.failure;
+    bool failure_armed = fail.enabled();
+    const auto trigger_iters =
+        std::min<std::int64_t>(n, static_cast<std::int64_t>(
+                                      fail.at_fraction * static_cast<double>(n)));
+    std::int64_t assigned = 0;
+    std::vector<char> node_dead(static_cast<std::size_t>(cluster.nodes), 0);
+
     std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
     for (int w = 0; w < total_workers; ++w) {
         events.push({0.0, w});
@@ -144,6 +156,7 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
             c.sub_scheduled += take;
             ++c.sub_step;
             node.unallocated -= take;
+            assigned += take;
             return std::pair{begin, begin + take};
         }
         return std::nullopt;
@@ -173,6 +186,38 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
         const double t = ev.time;
         trace::WorkerTracer& tracer = engine_trace.tracer(ev.worker);
         const bool tracing = tracer.enabled();
+        // Fire the injected failure: mark the node dead and re-queue the
+        // unassigned remainders of its local queue on the survivors,
+        // round-robin, visible once the virtual detection latency elapses
+        // (a reclaimed remainder restarts as a fresh chunk, mirroring the
+        // real claimer re-leasing a reclaimed chunk under its own lease).
+        if (failure_armed && assigned >= trigger_iters) {
+            failure_armed = false;
+            node_dead[static_cast<std::size_t>(fail.node)] = 1;
+            NodeState& dead = nodes[static_cast<std::size_t>(fail.node)];
+            const double visible = t + std::max(0.0, fail.detect_delay_s);
+            int target = fail.node;
+            for (std::size_t i = dead.head; i < dead.chunks.size(); ++i) {
+                ChunkState& c = dead.chunks[i];
+                // Remainders not yet visible at the kill instant transfer
+                // too: the push lands in shared memory, which outlives the
+                // dead node's ranks (hence the max() on visibility below).
+                const std::int64_t rem = c.size - c.sub_scheduled;
+                if (rem <= 0) {
+                    continue;
+                }
+                do {
+                    target = (target + 1) % cluster.nodes;
+                } while (target == fail.node);
+                NodeState& dst = nodes[static_cast<std::size_t>(target)];
+                dst.chunks.push_back(
+                    {c.start + c.sub_scheduled, rem, 0, 0, std::max(visible, c.visible_at)});
+                dst.unallocated += rem;
+                report.reclaimed_iterations += rem;
+                c.sub_scheduled = c.size;
+            }
+            dead.unallocated = 0;
+        }
         // The overlap window earned by the previous transaction's compute;
         // consumed (and reset) by this transaction's refill, if any.
         double& credit_slot = overlap_credit[static_cast<std::size_t>(ev.worker)];
@@ -186,6 +231,19 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
                 waiting_since = -1.0;
             }
         };
+
+        // A worker of the killed node fail-stops at its next event — the
+        // chunk boundary after its in-flight sub-chunk, matching the real
+        // chaos seam's boundary placement.
+        if (node_dead[static_cast<std::size_t>(w.node)] != 0) {
+            close_wait(t);
+            if (tracing) {
+                tracer.instant(trace::EventKind::Terminate, t);
+            }
+            w.finish = t;
+            ++finished;
+            continue;
+        }
 
         // ---- stage 2: try to pop a sub-chunk from the node queue --------
         const QueueAccess acc = access_queue(node, t);
@@ -355,6 +413,17 @@ SimReport simulate_shared_queue(const ClusterSpec& cluster, const SimConfig& con
         if (!source.exhausted(w.node)) {
             // Only reachable for nowait non-masters: the pool is empty and
             // the master has not refilled yet — poll again later.
+            w.idle += poll_quantum;
+            if (tracing && waiting_since < 0.0) {
+                waiting_since = now;
+            }
+            events.push({now + poll_quantum, ev.worker});
+            continue;
+        }
+        if (failure_armed) {
+            // An armed failure has not fired yet: reclaimed remainders may
+            // still land on this node, so keep polling instead of
+            // terminating (the sim analogue of the reclamation drain).
             w.idle += poll_quantum;
             if (tracing && waiting_since < 0.0) {
                 waiting_since = now;

@@ -71,6 +71,22 @@ SimReport simulate(ExecModel model, const ClusterSpec& cluster, const SimConfig&
     if (config.fac_mu <= 0.0) {
         throw std::invalid_argument("simulate: fac_mu must be > 0");
     }
+    if (config.failure.enabled()) {
+        if (config.failure.node >= cluster.nodes) {
+            throw std::invalid_argument("simulate: failure.node is outside the cluster");
+        }
+        if (cluster.nodes < 2) {
+            throw std::invalid_argument(
+                "simulate: failure injection needs at least one surviving node");
+        }
+        if (!(config.failure.at_fraction >= 0.0 && config.failure.at_fraction <= 1.0)) {
+            throw std::invalid_argument(
+                "simulate: failure.at_fraction must be in [0, 1]");
+        }
+        if (config.failure.detect_delay_s < 0.0) {
+            throw std::invalid_argument("simulate: failure.detect_delay_s must be >= 0");
+        }
+    }
     const metrics::Snapshot before = metrics::registry().snapshot();
     SimReport report;
     switch (model) {

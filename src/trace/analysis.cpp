@@ -139,6 +139,10 @@ TraceAnalysis analyze(const Trace& trace) {
                 }
                 out.prefetch_hidden_seconds += e.wait;
                 break;
+            case EventKind::Reclaim:
+                out.reclaimed.emplace_back(e.a, e.b);
+                out.reclaimed_iterations += e.b;
+                break;
             case EventKind::RefillBegin:
             case EventKind::RefillEnd:
             case EventKind::Terminate:
@@ -235,6 +239,14 @@ void TraceAnalysis::print(std::ostream& os) const {
         }
         os << "per-job breakdown (multi-tenant trace):\n";
         per_job.print(os);
+    }
+    if (!reclaimed.empty()) {
+        os << "reclaimed: " << reclaimed.size() << " chunk(s), " << reclaimed_iterations
+           << " iteration(s) re-executed after owner failure:";
+        for (const auto& [start, size] : reclaimed) {
+            os << " [" << start << "," << start + size << ")";
+        }
+        os << "\n";
     }
     if (prefetch_hits + prefetch_misses > 0) {
         os << "prefetch: " << prefetch_hits << " hits / " << prefetch_misses << " misses ("

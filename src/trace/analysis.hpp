@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <ostream>
+#include <utility>
 #include <vector>
 
 #include "trace/trace.hpp"
@@ -116,6 +117,13 @@ struct TraceAnalysis {
         return total > 0 ? static_cast<double>(prefetch_hits) / static_cast<double>(total)
                          : 0.0;
     }
+
+    /// Chunks reclaimed from dead owners and re-executed by survivors
+    /// (Reclaim events), as [start, start+size) ranges in recording order.
+    /// Empty for runs without failures — the fault-tolerance accounting of
+    /// docs/fault-tolerance.md.
+    std::vector<std::pair<std::int64_t, std::int64_t>> reclaimed;
+    std::int64_t reclaimed_iterations = 0;
 
     /// Distribution of per-epoch lock-grant latencies (every LocalPop's
     /// request->grant wait), the contended-handoff cost of ref [38].

@@ -45,9 +45,12 @@ enum class EventKind : std::uint8_t {
                      ///< hidden behind chunk execution — genuinely off the critical
                      ///< path; the thread-backed real executor repositions that work
                      ///< rather than removing it (its RMA has no flight time to hide)
+    Reclaim,         ///< lease reclaimed from a dead owner and re-executed by the
+                     ///< recording worker (a=start, b=size of the reclaimed chunk;
+                     ///< docs/fault-tolerance.md)
 };
 
-inline constexpr int kEventKinds = 11;
+inline constexpr int kEventKinds = 12;
 
 [[nodiscard]] constexpr std::string_view event_kind_name(EventKind k) noexcept {
     switch (k) {
@@ -73,6 +76,8 @@ inline constexpr int kEventKinds = 11;
             return "Steal";
         case EventKind::Prefetch:
             return "Prefetch";
+        case EventKind::Reclaim:
+            return "Reclaim";
     }
     return "?";
 }

@@ -176,6 +176,11 @@ void export_chrome_json(const Trace& trace, std::ostream& os) {
                      ",\"hidden_us\":" + json_number(us(e.wait)) +
                      ",\"level\":" + std::to_string(e.level) + "}}");
                 break;
+            case EventKind::Reclaim:
+                emit("{\"name\":\"Reclaim\",\"ph\":\"i\",\"s\":\"t\"," + common +
+                     ",\"args\":{\"start\":" + std::to_string(e.a) +
+                     ",\"size\":" + std::to_string(e.b) + "}}");
+                break;
         }
     }
     os << "\n]}\n";
